@@ -1,0 +1,51 @@
+// Ablation: cached environments in batched tensor-network sampling (the
+// paper's §4 discussion — "the current sampling algorithm requires nearly
+// all of the tensor network contraction process to reoccur for each
+// sample"). Our MPS sampler canonicalises the chain once per batch (the
+// cached environment) and draws each shot at O(n·χ²); the un-cached
+// baseline re-canonicalises per shot, which is the analogue of per-sample
+// re-contraction. The gap between the two columns is exactly the speedup
+// opportunity the paper attributes to contraction-path/intermediate
+// caching.
+
+#include <cstdio>
+
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/qec/codes.hpp"
+#include "ptsbe/qec/distillation.hpp"
+#include "ptsbe/tensornet/mps.hpp"
+
+int main() {
+  using namespace ptsbe;
+  for (const auto& [label, circuit] :
+       {std::pair{"35-qubit MSD preparation",
+                  qec::msd_preparation_circuit(qec::steane())},
+        std::pair{"encoded T block (25 qubits, d=5)",
+                  qec::encoded_t_state_circuit(qec::rotated_surface_code(5))}}) {
+    MpsConfig cfg;
+    cfg.max_bond = 64;
+    MpsState mps(circuit.num_qubits(), cfg);
+    mps.apply_circuit(circuit);
+    std::printf("== %s (chi_max = %zu) ==\n", label, mps.max_bond_dim());
+    std::printf("%12s %16s %16s %10s\n", "shots", "cached shots/s",
+                "uncached shots/s", "ratio");
+    RngStream rng(71);
+    for (const std::size_t shots : {10ul, 100ul, 1000ul}) {
+      WallTimer t;
+      (void)mps.sample_shots(shots, rng);
+      const double cached = shots / t.seconds();
+      // Un-cached: bounded probe, scaled.
+      const std::size_t probe = std::min<std::size_t>(shots, 20);
+      t.reset();
+      for (std::size_t i = 0; i < probe; ++i) (void)mps.sample_one_uncached(rng);
+      const double uncached = probe / t.seconds();
+      std::printf("%12zu %16.0f %16.0f %9.1fx\n", shots, cached, uncached,
+                  cached / uncached);
+    }
+  }
+  std::printf(
+      "\nThe cached column amortises one full-chain canonicalisation over\n"
+      "the batch — the mechanism behind Fig. 5's batched gain and the\n"
+      "feature the paper requests from future cuTensorNet releases.\n");
+  return 0;
+}

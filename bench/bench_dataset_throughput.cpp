@@ -1,0 +1,80 @@
+// Dataset-cost reproduction (§4 text): the paper collects 10^12 statevector
+// shots in 4,445 H100-hours (10^6 shots/trajectory) and 10^6 tensor-network
+// shots in 2,223 H100-hours (100 shots/trajectory) on Eos. This bench
+// measures this host's sustained PTSBE throughput on the scaled workloads
+// and extrapolates the wall-clock cost of the paper's dataset sizes, the
+// same rate × time arithmetic the paper's GPU-hour figures come from.
+
+#include <cstdio>
+
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/dataset.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "workloads.hpp"
+
+namespace {
+
+double sustained_rate(const ptsbe::NoisyCircuit& noisy, bool tensor_net,
+                      std::size_t trajectories, std::size_t shots_per_traj) {
+  using namespace ptsbe;
+  RngStream rng(51);
+  pts::Options opt;
+  opt.nsamples = trajectories;
+  opt.nshots = shots_per_traj;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  be::Options exec;
+  if (tensor_net) {
+    exec.backend = be::Backend::kTensorNetwork;
+    exec.mps.max_bond = 64;
+  }
+  WallTimer t;
+  const auto result = be::execute(noisy, specs, exec);
+  return static_cast<double>(result.total_shots()) / t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ptsbe;
+  std::printf("%-42s %14s %18s\n", "workload", "shots/s", "paper-size cost");
+
+  {
+    const double rate =
+        sustained_rate(bench::noisy_bare_msd(0.01), false, 4, 100000);
+    const double hours = 1e12 / rate / 3600.0;
+    std::printf("%-42s %14.0f %15.1f h\n",
+                "statevector MSD (1e12-shot corpus)", rate, hours);
+  }
+  {
+    const double rate = sustained_rate(
+        bench::noisy_msd_preparation(qec::steane(), 0.002), true, 2, 100);
+    const double hours = 1e6 / rate / 3600.0;
+    std::printf("%-42s %14.0f %15.1f h\n",
+                "tensor-net MSD prep (1e6-shot corpus)", rate, hours);
+  }
+
+  // Also demonstrate the persistence path at rate: write a binary chunk.
+  {
+    const NoisyCircuit noisy = bench::noisy_bare_msd(0.01);
+    RngStream rng(52);
+    pts::Options opt;
+    opt.nsamples = 8;
+    opt.nshots = 50000;
+    opt.merge_duplicates = true;
+    const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+    const auto result = be::execute(noisy, specs);
+    WallTimer t;
+    dataset::write_binary("/tmp/ptsbe_bench_chunk.bin", result);
+    std::printf("%-42s %14.0f (records/s to disk)\n",
+                "binary dataset writer", result.total_shots() / t.seconds());
+    std::remove("/tmp/ptsbe_bench_chunk.bin");
+  }
+
+  std::printf(
+      "\nContext: the paper's 4,445 / 2,223 H100-hour figures are this same\n"
+      "extrapolation on its hardware; absolute rates differ (1 CPU core vs\n"
+      "an Eos SuperPod), the amortisation arithmetic is identical.\n");
+  return 0;
+}

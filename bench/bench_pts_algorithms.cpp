@@ -1,0 +1,85 @@
+// Micro-benchmarks of the PTS sampling algorithms themselves (google
+// benchmark), backing the paper's §3.1 claim that pre-sampling is
+// lightweight (~O(|{K}|²p²)-ish bookkeeping) compared to the
+// exponential-cost state preparation it replaces. Also covers dedup and
+// exhaustive enumeration, whose cost is the practical limit for the
+// "most common errors above a cutoff" strategy.
+
+#include <benchmark/benchmark.h>
+
+#include "ptsbe/core/pts.hpp"
+#include "workloads.hpp"
+
+namespace {
+
+using namespace ptsbe;
+
+NoisyCircuit make_program(unsigned n) {
+  return bench::surrogate_circuit(n, 12, 0.01);
+}
+
+void BM_SampleProbabilistic(benchmark::State& state) {
+  const NoisyCircuit noisy = make_program(static_cast<unsigned>(state.range(0)));
+  RngStream rng(81);
+  pts::Options opt;
+  opt.nsamples = 100;
+  opt.nshots = 1000;
+  for (auto _ : state) {
+    auto specs = pts::sample_probabilistic(noisy, opt, rng);
+    benchmark::DoNotOptimize(specs);
+  }
+  state.SetLabel(std::to_string(noisy.num_sites()) + " sites");
+}
+BENCHMARK(BM_SampleProbabilistic)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SampleTwirled(benchmark::State& state) {
+  const NoisyCircuit noisy = make_program(static_cast<unsigned>(state.range(0)));
+  RngStream rng(82);
+  pts::Options opt;
+  opt.nsamples = 100;
+  for (auto _ : state) {
+    auto specs = pts::sample_pauli_twirled(noisy, opt, rng);
+    benchmark::DoNotOptimize(specs);
+  }
+}
+BENCHMARK(BM_SampleTwirled)->Arg(8);
+
+void BM_EnumerateMostLikely(benchmark::State& state) {
+  const NoisyCircuit noisy = make_program(8);
+  const double cutoff = std::pow(10.0, -static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    auto specs = pts::enumerate_most_likely(noisy, cutoff, 1);
+    benchmark::DoNotOptimize(specs);
+  }
+}
+BENCHMARK(BM_EnumerateMostLikely)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_Dedup(benchmark::State& state) {
+  const NoisyCircuit noisy = make_program(8);
+  RngStream rng(83);
+  pts::Options opt;
+  opt.nsamples = static_cast<std::size_t>(state.range(0));
+  opt.merge_duplicates = true;
+  // Pre-draw raw specs once, dedup repeatedly.
+  auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  for (auto _ : state) {
+    auto copy = specs;
+    auto out = pts::dedup(std::move(copy), true);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Dedup)->Arg(100)->Arg(1000);
+
+void BM_SparseProbability(benchmark::State& state) {
+  const NoisyCircuit noisy = make_program(16);
+  std::vector<std::pair<std::size_t, std::size_t>> assignment{{0, 1}, {5, 2}};
+  for (auto _ : state) {
+    const double p = noisy.nominal_sparse_probability(assignment);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_SparseProbability);
+
+}  // namespace
+
+BENCHMARK_MAIN();

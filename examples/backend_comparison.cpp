@@ -1,0 +1,121 @@
+// Backend comparison on one workload: exact density matrix (ground truth),
+// Clifford Pauli-frame bulk sampler (the Stim-like baseline — fast but
+// restricted), conventional trajectories (Algorithm 1), and PTSBE on both
+// the statevector and MPS backends.
+//
+// The workload is chosen inside the Clifford+Pauli fragment so *all five*
+// methods can run it; the printout shows (i) everyone agrees on the
+// distribution and (ii) where each method's cost goes. Swap one T gate in
+// and the Clifford sampler drops out — exactly the gap PTSBE targets.
+
+#include <cstdio>
+#include <map>
+
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/densmat/density_matrix.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/stabilizer/pauli_frame.hpp"
+#include "ptsbe/trajectory/trajectory.hpp"
+
+namespace {
+
+double tvd(const std::map<std::uint64_t, double>& f,
+           const std::vector<double>& exact) {
+  double d = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const auto it = f.find(i);
+    d += std::abs((it == f.end() ? 0.0 : it->second) - exact[i]);
+  }
+  return d / 2;
+}
+
+template <typename Records>
+std::map<std::uint64_t, double> freq(const Records& records) {
+  std::map<std::uint64_t, double> f;
+  for (auto r : records) f[r] += 1.0 / records.size();
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ptsbe;
+  const unsigned n = 6;
+  const std::size_t total = 200000;
+
+  Circuit circuit(n);
+  circuit.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) circuit.cx(q, q + 1);
+  for (unsigned q = 0; q < n; ++q) circuit.s(q);
+  circuit.cz(0, n - 1);
+  circuit.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(0.01));
+  const NoisyCircuit noisy = noise.apply(circuit);
+
+  // Ground truth.
+  DensityMatrix dm(n);
+  dm.apply_noisy_circuit(noisy);
+  const auto exact = dm.probabilities();
+  std::printf("%u-qubit Clifford workload, %zu noise sites, %zu shots each\n\n",
+              n, noisy.num_sites(), total);
+  std::printf("%-26s %10s %8s\n", "method", "seconds", "TVD");
+
+  {  // Stim-like Pauli-frame bulk sampler.
+    WallTimer t;
+    PauliFrameSampler sampler(noisy, RngStream(1));
+    RngStream rng(2);
+    const auto records = sampler.sample(total, rng);
+    std::printf("%-26s %10.3f %8.4f\n", "pauli-frame (Clifford)", t.seconds(),
+                tvd(freq(records), exact));
+  }
+  {  // Conventional trajectories, one shot per state preparation.
+    WallTimer t;
+    RngStream rng(3);
+    const auto result = traj::run_statevector(noisy, total / 40, rng);
+    std::printf("%-26s %10.3f %8.4f  (only %zu shots: 1 per prep)\n",
+                "algorithm-1 baseline", t.seconds(),
+                tvd(freq(result.records), exact), result.records.size());
+  }
+  {  // PTSBE, statevector backend.
+    WallTimer t;
+    RngStream rng(4);
+    pts::Options opt;
+    opt.nsamples = total / 40;
+    opt.nshots = 40;
+    opt.merge_duplicates = true;
+    const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+    const auto result = be::execute(noisy, specs);
+    std::map<std::uint64_t, double> f;
+    for (const auto& b : result.batches)
+      for (auto r : b.records) f[r] += 1.0 / result.total_shots();
+    std::printf("%-26s %10.3f %8.4f  (%zu preps for %llu shots)\n",
+                "PTSBE statevector", t.seconds(), tvd(f, exact),
+                result.batches.size(),
+                static_cast<unsigned long long>(result.total_shots()));
+  }
+  {  // PTSBE, MPS tensor-network backend.
+    WallTimer t;
+    RngStream rng(4);  // same seed → same specs as above
+    pts::Options opt;
+    opt.nsamples = total / 40;
+    opt.nshots = 40;
+    opt.merge_duplicates = true;
+    const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+    be::Options exec;
+    exec.backend = be::Backend::kTensorNetwork;
+    const auto result = be::execute(noisy, specs, exec);
+    std::map<std::uint64_t, double> f;
+    for (const auto& b : result.batches)
+      for (auto r : b.records) f[r] += 1.0 / result.total_shots();
+    std::printf("%-26s %10.3f %8.4f\n", "PTSBE tensor network", t.seconds(),
+                tvd(f, exact));
+  }
+
+  std::printf(
+      "\nAdd a single T gate and the Pauli-frame row disappears — universal\n"
+      "noisy sampling at scale is the regime PTSBE exists for.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Targeted error analysis with PTS sampling strategies — the paper's first
+// bullet: "tailored error injection for specific QEC analysis scenarios".
+//
+// Workload: a Steane-encoded magic state, read out transversally and decoded
+// with the lookup decoder. Three PTS strategies probe it:
+//   (a) exhaustive enumeration of the most likely error combinations,
+//   (b) probability-band sampling (rare-event regions on demand),
+//   (c) spatially-correlated injection (clustered errors).
+// For each strategy we report the logical error rate of the decoder — the
+// quantity a decoder designer actually wants, resolved by error class.
+
+#include <cstdio>
+
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/qec/codes.hpp"
+#include "ptsbe/qec/decoder.hpp"
+#include "ptsbe/qec/distillation.hpp"
+#include "ptsbe/qec/stabilizer_code.hpp"
+
+int main() {
+  using namespace ptsbe;
+  const qec::CssCode code = qec::steane();
+
+  // Encoded |0_L⟩, transversal readout, physical depolarizing noise after
+  // every gate of the encoding circuit: any decoded logical-1 is a genuine
+  // logical error.
+  Circuit circuit(code.n);
+  circuit.append(qec::synthesize_encoder(code));
+  circuit.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(0.004));
+  const NoisyCircuit noisy = noise.apply(circuit);
+  const qec::CssLookupDecoder decoder(code, 1);
+  std::printf("workload: Steane |0_L> readout, %zu noise sites\n\n",
+              noisy.num_sites());
+
+  const auto logical_error_rate = [&](const std::vector<TrajectorySpec>& specs,
+                                      const char* label) {
+    if (specs.empty()) {
+      std::printf("%-28s (no trajectories)\n", label);
+      return;
+    }
+    const be::Result result = be::execute(noisy, specs);
+    double weighted_fail = 0.0, weight = 0.0;
+    for (const auto& batch : result.batches) {
+      double fails = 0.0;
+      for (auto record : batch.records)
+        fails += decoder.logical_z_value(record) != 0 ? 1.0 : 0.0;
+      // Weight each trajectory by its probability so rates are physical.
+      const double w = batch.spec.nominal_probability;
+      weighted_fail += w * fails / static_cast<double>(batch.records.size());
+      weight += w;
+    }
+    std::printf("%-28s %4zu trajs, covered prob %.3e, logical error %.3e\n",
+                label, specs.size(), weight,
+                weight > 0 ? weighted_fail / weight : 0.0);
+  };
+
+  // (a) Exhaustive top-probability enumeration.
+  auto top = pts::enumerate_most_likely(noisy, 1e-7, 500);
+  logical_error_rate(top, "top-probability (exhaustive)");
+
+  // (b) Probability bands: the bulk vs the tail.
+  RngStream rng(7);
+  pts::Options opt;
+  opt.nsamples = 6000;
+  opt.nshots = 500;
+  opt.merge_duplicates = true;
+  auto sampled = pts::sample_probabilistic(noisy, opt, rng);
+  logical_error_rate(pts::filter_band(sampled, 1e-3, 1.0), "band p in [1e-3, 1]");
+  logical_error_rate(pts::filter_band(sampled, 1e-7, 1e-3),
+                     "band p in [1e-7, 1e-3]");
+
+  // (c) Spatially correlated bursts: decoder stress test.
+  RngStream rng2(8);
+  auto correlated =
+      pts::sample_spatially_correlated(noisy, opt, rng2, /*boost=*/12.0, 1);
+  logical_error_rate(correlated, "correlated bursts (x12)");
+
+  // (d) Gate-targeted injection: only two-qubit gate noise.
+  RngStream rng3(9);
+  pts::SiteFilter cx_only;
+  cx_only.gate_name = "cx";
+  auto cx_specs = pts::sample_probabilistic(noisy, opt, rng3, &cx_only);
+  logical_error_rate(cx_specs, "cx-gate errors only");
+
+  std::printf(
+      "\nNote: conventional trajectory sampling can produce none of these\n"
+      "conditional views without rerunning the full simulation per class.\n");
+  return 0;
+}

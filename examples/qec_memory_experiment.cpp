@@ -1,0 +1,74 @@
+// Circuit-level QEC memory experiment on the Steane code: encode |0_L⟩,
+// run syndrome-extraction rounds under depolarizing circuit noise, read out
+// the data transversally, and decode.
+//
+// Because the whole circuit is Clifford, this is the one workload where the
+// Stim-like Pauli-frame bulk sampler and PTSBE overlap — so the example
+// runs both and compares logical error rates and throughput. Swap the
+// encoded state for |T_L⟩ (one line) and only PTSBE survives: that is the
+// universality gap the paper targets.
+
+#include <cstdio>
+
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/estimator.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/qec/memory.hpp"
+#include "ptsbe/stabilizer/pauli_frame.hpp"
+
+int main() {
+  using namespace ptsbe;
+  const qec::CssCode code = qec::steane();
+  const unsigned rounds = 1;
+  const qec::MemoryExperiment exp = qec::make_memory_experiment(code, rounds);
+  const qec::CssLookupDecoder decoder(code, 1);
+  std::printf("Steane memory: %u rounds, %u qubits, depth %zu\n\n", rounds,
+              exp.circuit.num_qubits(), exp.circuit.depth());
+
+  std::printf("%8s %22s %14s %22s %14s\n", "p", "frame logical-err",
+              "frame shots/s", "PTSBE logical-err", "PTSBE shots/s");
+  for (const double p : {0.001, 0.003, 0.01, 0.03}) {
+    NoiseModel nm;
+    nm.add_all_gate_noise(channels::depolarizing(p));
+    const NoisyCircuit noisy = nm.apply(exp.circuit);
+
+    // Stim-like Pauli-frame bulk sampling.
+    WallTimer t;
+    PauliFrameSampler sampler(noisy, RngStream(1));
+    RngStream rng_f(2);
+    const auto frame_records = sampler.sample(200000, rng_f);
+    const double frame_secs = t.seconds();
+    const double frame_rate =
+        qec::memory_logical_error_rate(exp, decoder, frame_records);
+
+    // PTSBE on the statevector backend.
+    t.reset();
+    RngStream rng_p(3);
+    pts::Options opt;
+    opt.nsamples = 500;
+    opt.nshots = 200;
+    opt.merge_duplicates = true;
+    const auto specs = pts::sample_probabilistic(noisy, opt, rng_p);
+    const auto result = be::execute(noisy, specs);
+    const double pts_secs = t.seconds();
+    const auto pts_rate = be::estimate_probability(
+        result, be::Weighting::kDrawWeighted, [&](std::uint64_t r) {
+          return qec::decode_memory_shot(exp, decoder, r) != 0;
+        });
+
+    std::printf("%8.3f %14.4f ± %5.4f %14.0f %14.4f ± %5.4f %14.0f\n", p,
+                frame_rate,
+                std::sqrt(frame_rate * (1 - frame_rate) / 200000.0),
+                200000.0 / frame_secs, pts_rate.value, pts_rate.std_error,
+                static_cast<double>(result.total_shots()) / pts_secs);
+  }
+
+  std::printf(
+      "\nThe two columns agree closely (PTSBE error bars mildly understate\n"
+      "shared-trajectory correlation; see estimator.hpp). The frame sampler\n"
+      "is faster — and limited to Clifford+Pauli circuits; inject a magic\n"
+      "state or a non-Pauli channel and PTSBE is the only batched option.\n");
+  return 0;
+}

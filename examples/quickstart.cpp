@@ -1,0 +1,95 @@
+// Quickstart: the PTSBE pipeline end to end on a small noisy circuit.
+//
+//   1. Build a coherent circuit and bind a noise model  → NoisyCircuit
+//   2. Pre-Trajectory Sampling (Algorithm 2)            → TrajectorySpecs
+//   3. Batched Execution                                → labelled shots
+//
+// Compare against the conventional per-shot trajectory baseline and the
+// exact density matrix to see that all three agree — and that PTSBE knows
+// *which* errors produced each shot, which the baseline cannot tell you.
+
+#include <cstdio>
+#include <map>
+
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/densmat/density_matrix.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/trajectory/trajectory.hpp"
+
+int main() {
+  using namespace ptsbe;
+
+  // --- 1. A noisy GHZ circuit -------------------------------------------
+  const unsigned n = 4;
+  Circuit circuit(n);
+  circuit.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) circuit.cx(q, q + 1);
+  circuit.measure_all();
+
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(0.02));
+  noise.add_measurement_noise(channels::bit_flip(0.01));
+  const NoisyCircuit noisy = noise.apply(circuit);
+  std::printf("program: %u qubits, %zu gates, %zu noise sites\n", n,
+              circuit.gate_count(), noisy.num_sites());
+
+  // --- 2. PTS: pre-sample trajectories (Algorithm 2) ---------------------
+  RngStream rng(42);
+  pts::Options opt;
+  opt.nsamples = 2000;        // candidate draws
+  opt.nshots = 1000;          // batched shots per surviving trajectory
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  std::printf("PTS: %zu unique trajectory specs, %llu total shots\n",
+              specs.size(),
+              static_cast<unsigned long long>(total_shots(specs)));
+
+  // --- 3. BE: batched execution ------------------------------------------
+  be::Options exec;
+  exec.backend = be::Backend::kStateVector;
+  const be::Result result = be::execute(noisy, specs, exec);
+  std::printf("BE: %llu shots (%.1f%% unique), prep %.3fs sample %.3fs\n",
+              static_cast<unsigned long long>(result.total_shots()),
+              100.0 * result.unique_shot_fraction(), result.prepare_seconds,
+              result.sample_seconds);
+
+  // Error provenance: every batch knows exactly which Kraus branches fired.
+  std::printf("\nfirst three trajectory batches and their error labels:\n");
+  for (std::size_t i = 0; i < result.batches.size() && i < 3; ++i) {
+    const auto& batch = result.batches[i];
+    std::printf("  batch %zu: p=%.3e, %zu shots\n", i,
+                batch.spec.nominal_probability, batch.records.size());
+    for (const std::string& label : describe_errors(noisy, batch.spec))
+      std::printf("    %s\n", label.c_str());
+    if (batch.spec.branches.empty()) std::printf("    (error-free)\n");
+  }
+
+  // --- Validation: baseline trajectories and the exact density matrix ----
+  RngStream rng2(43);
+  const auto baseline = traj::run_statevector(noisy, 20000, rng2);
+  DensityMatrix dm(n);
+  dm.apply_noisy_circuit(noisy);
+  const auto exact = dm.probabilities();
+
+  std::map<std::uint64_t, double> f_be, f_tr;
+  double be_total = 0;
+  for (const auto& b : result.batches)
+    for (auto r : b.records) {
+      f_be[r] += 1.0;
+      be_total += 1.0;
+    }
+  for (auto r : baseline.records) f_tr[r] += 1.0 / baseline.records.size();
+
+  std::printf("\noutcome     exact     PTSBE  baseline\n");
+  for (std::uint64_t idx : {0ULL, (1ULL << n) - 1, 1ULL}) {
+    std::printf("  %04llx   %.4f    %.4f    %.4f\n",
+                static_cast<unsigned long long>(idx), exact[idx],
+                f_be[idx] / be_total, f_tr[idx]);
+  }
+  std::printf("\nbaseline needed %zu state preparations for %zu shots;\n",
+              baseline.stats.state_preparations, baseline.records.size());
+  std::printf("PTSBE needed %zu for %llu shots.\n", result.batches.size(),
+              static_cast<unsigned long long>(result.total_shots()));
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "ptsbe/circuit/circuit.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+std::size_t Circuit::gate_count() const noexcept {
+  std::size_t n = 0;
+  for (const Operation& op : ops_)
+    if (op.kind == OpKind::kGate) ++n;
+  return n;
+}
+
+std::vector<unsigned> Circuit::measured_qubits() const {
+  std::vector<unsigned> out;
+  for (const Operation& op : ops_)
+    if (op.kind == OpKind::kMeasure) out.push_back(op.qubits.front());
+  return out;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> qubit_depth(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const Operation& op : ops_) {
+    if (op.kind != OpKind::kGate) continue;
+    std::size_t level = 0;
+    for (unsigned q : op.qubits) level = std::max(level, qubit_depth[q]);
+    ++level;
+    for (unsigned q : op.qubits) qubit_depth[q] = level;
+    depth = std::max(depth, level);
+  }
+  return depth;
+}
+
+void Circuit::require_valid_targets(const std::vector<unsigned>& qubits) const {
+  PTSBE_REQUIRE(!qubits.empty(), "operation needs at least one target qubit");
+  std::set<unsigned> distinct(qubits.begin(), qubits.end());
+  PTSBE_REQUIRE(distinct.size() == qubits.size(),
+                "operation target qubits must be distinct");
+  for (unsigned q : qubits)
+    PTSBE_REQUIRE(q < num_qubits_, "target qubit out of range");
+}
+
+Circuit& Circuit::gate(std::string name, const Matrix& matrix,
+                       std::vector<unsigned> qubits, std::vector<double> params) {
+  require_valid_targets(qubits);
+  const std::size_t dim = std::size_t{1} << qubits.size();
+  PTSBE_REQUIRE(matrix.rows() == dim && matrix.cols() == dim,
+                "gate matrix dimension must be 2^arity");
+  Operation op;
+  op.kind = OpKind::kGate;
+  op.name = std::move(name);
+  op.qubits = std::move(qubits);
+  op.params = std::move(params);
+  op.matrix = matrix;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Circuit& Circuit::measure(unsigned q) {
+  require_valid_targets({q});
+  Operation op;
+  op.kind = OpKind::kMeasure;
+  op.name = "measure";
+  op.qubits = {q};
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Circuit& Circuit::measure_all() {
+  for (unsigned q = 0; q < num_qubits_; ++q) measure(q);
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other,
+                         const std::vector<unsigned>& qubit_map) {
+  PTSBE_REQUIRE(qubit_map.size() >= other.num_qubits(),
+                "qubit map must cover the appended circuit's qubits");
+  unsigned max_target = 0;
+  for (unsigned i = 0; i < other.num_qubits(); ++i)
+    max_target = std::max(max_target, qubit_map[i]);
+  num_qubits_ = std::max(num_qubits_, max_target + 1);
+  for (const Operation& op : other.ops()) {
+    Operation mapped = op;
+    for (unsigned& q : mapped.qubits) q = qubit_map[q];
+    if (mapped.kind == OpKind::kGate)
+      require_valid_targets(mapped.qubits);
+    ops_.push_back(std::move(mapped));
+  }
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  std::vector<unsigned> idmap(other.num_qubits());
+  for (unsigned i = 0; i < other.num_qubits(); ++i) idmap[i] = i;
+  return append(other, idmap);
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "circuit(" << num_qubits_ << " qubits, " << ops_.size() << " ops)\n";
+  for (const Operation& op : ops_) {
+    os << "  " << op.name;
+    for (unsigned q : op.qubits) os << ' ' << q;
+    if (!op.params.empty()) {
+      os << " (";
+      for (std::size_t i = 0; i < op.params.size(); ++i)
+        os << (i ? ", " : "") << op.params[i];
+      os << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ptsbe

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file circuit.hpp
+/// \brief Circuit intermediate representation.
+///
+/// A `Circuit` is an ordered list of operations on `num_qubits()` qubits.
+/// Coherent gates carry their unitary matrix; measurement records which
+/// qubits appear (in which order) in the classical shot value. Noise is *not*
+/// part of the circuit IR — a `NoiseModel` (see ptsbe/noise) is bound to a
+/// circuit to produce the noisy program that trajectory simulation and PTS
+/// operate on. This mirrors the paper's Fig. 2: the coherent skeleton is
+/// deterministic; noise sites are attached per gate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptsbe/circuit/gates.hpp"
+#include "ptsbe/linalg/matrix.hpp"
+
+namespace ptsbe {
+
+/// Kind of circuit operation.
+enum class OpKind : std::uint8_t {
+  kGate,     ///< Coherent unitary on 1..k qubits.
+  kMeasure,  ///< Computational-basis measurement of one qubit (terminal).
+};
+
+/// One operation in a circuit.
+struct Operation {
+  OpKind kind = OpKind::kGate;
+  std::string name;              ///< Mnemonic ("h", "cx", "measure", custom).
+  std::vector<unsigned> qubits;  ///< Targets; first listed = LSB of `matrix`.
+  std::vector<double> params;    ///< Rotation angles etc. (documentation only).
+  Matrix matrix;                 ///< Unitary for kGate (2^k × 2^k); empty otherwise.
+
+  /// Number of qubits this operation touches.
+  [[nodiscard]] std::size_t arity() const noexcept { return qubits.size(); }
+};
+
+/// Ordered operation list with builder helpers.
+class Circuit {
+ public:
+  /// Circuit on `num_qubits` qubits (may be 0 for incremental building).
+  explicit Circuit(unsigned num_qubits = 0) : num_qubits_(num_qubits) {}
+
+  [[nodiscard]] unsigned num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] const std::vector<Operation>& ops() const noexcept { return ops_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+
+  /// Count of coherent gate operations (excludes measurements).
+  [[nodiscard]] std::size_t gate_count() const noexcept;
+
+  /// Qubits listed by measurement operations, in program order; empty means
+  /// "measure all qubits in index order" by convention of the samplers.
+  [[nodiscard]] std::vector<unsigned> measured_qubits() const;
+
+  /// Greedy moment (layer) count — a depth estimate for reporting.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Append an arbitrary unitary on the given qubits (first listed = LSB).
+  Circuit& gate(std::string name, const Matrix& matrix,
+                std::vector<unsigned> qubits, std::vector<double> params = {});
+
+  // --- single-qubit builders -------------------------------------------
+  Circuit& x(unsigned q) { return gate("x", gates::X(), {q}); }
+  Circuit& y(unsigned q) { return gate("y", gates::Y(), {q}); }
+  Circuit& z(unsigned q) { return gate("z", gates::Z(), {q}); }
+  Circuit& h(unsigned q) { return gate("h", gates::H(), {q}); }
+  Circuit& s(unsigned q) { return gate("s", gates::S(), {q}); }
+  Circuit& sdg(unsigned q) { return gate("sdg", gates::Sdg(), {q}); }
+  Circuit& t(unsigned q) { return gate("t", gates::T(), {q}); }
+  Circuit& tdg(unsigned q) { return gate("tdg", gates::Tdg(), {q}); }
+  Circuit& sx(unsigned q) { return gate("sx", gates::SX(), {q}); }
+  Circuit& sxdg(unsigned q) { return gate("sxdg", gates::SXdg(), {q}); }
+  Circuit& sy(unsigned q) { return gate("sy", gates::SY(), {q}); }
+  Circuit& sydg(unsigned q) { return gate("sydg", gates::SYdg(), {q}); }
+  Circuit& rx(unsigned q, double th) { return gate("rx", gates::RX(th), {q}, {th}); }
+  Circuit& ry(unsigned q, double th) { return gate("ry", gates::RY(th), {q}, {th}); }
+  Circuit& rz(unsigned q, double th) { return gate("rz", gates::RZ(th), {q}, {th}); }
+  Circuit& p(unsigned q, double th) { return gate("p", gates::P(th), {q}, {th}); }
+
+  // --- two-qubit builders ----------------------------------------------
+  Circuit& cx(unsigned control, unsigned target) {
+    return gate("cx", gates::CX(), {control, target});
+  }
+  Circuit& cz(unsigned a, unsigned b) { return gate("cz", gates::CZ(), {a, b}); }
+  Circuit& cy(unsigned control, unsigned target) {
+    return gate("cy", gates::CY(), {control, target});
+  }
+  Circuit& swap(unsigned a, unsigned b) {
+    return gate("swap", gates::SWAP(), {a, b});
+  }
+
+  /// Terminal measurement of qubit `q`; shot bit order follows call order.
+  Circuit& measure(unsigned q);
+
+  /// Measure every qubit, index order.
+  Circuit& measure_all();
+
+  /// Append all operations of `other` with its qubit i mapped to
+  /// `qubit_map[i]`. Grows this circuit's width as needed.
+  Circuit& append(const Circuit& other, const std::vector<unsigned>& qubit_map);
+
+  /// Append `other` verbatim (identity qubit map).
+  Circuit& append(const Circuit& other);
+
+  /// Human-readable multiline listing.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void require_valid_targets(const std::vector<unsigned>& qubits) const;
+
+  unsigned num_qubits_;
+  std::vector<Operation> ops_;
+};
+
+}  // namespace ptsbe

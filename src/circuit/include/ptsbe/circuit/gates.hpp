@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file gates.hpp
+/// \brief Standard gate library (universal gate set).
+///
+/// All matrices are returned by value as small `Matrix` objects in the
+/// computational basis, qubit 0 = least-significant bit. Two-qubit matrices
+/// are ordered so the *first* listed qubit of the operation is the
+/// least-significant index of the 4×4 matrix.
+
+#include <string>
+
+#include "ptsbe/linalg/matrix.hpp"
+
+namespace ptsbe::gates {
+
+/// 2×2 identity.
+Matrix I();
+/// Pauli-X.
+Matrix X();
+/// Pauli-Y.
+Matrix Y();
+/// Pauli-Z.
+Matrix Z();
+/// Hadamard.
+Matrix H();
+/// Phase gate S = diag(1, i).
+Matrix S();
+/// S†.
+Matrix Sdg();
+/// T = diag(1, e^{iπ/4}).
+Matrix T();
+/// T†.
+Matrix Tdg();
+/// √X — the principal square root of X; equals H·S·H.
+Matrix SX();
+/// (√X)†.
+Matrix SXdg();
+/// √Y = S·√X·S†.
+Matrix SY();
+/// (√Y)†.
+Matrix SYdg();
+/// Rotation about X: exp(-i θ X / 2).
+Matrix RX(double theta);
+/// Rotation about Y: exp(-i θ Y / 2).
+Matrix RY(double theta);
+/// Rotation about Z: exp(-i θ Z / 2).
+Matrix RZ(double theta);
+/// Phase gate diag(1, e^{iθ}).
+Matrix P(double theta);
+/// General single-qubit U(θ, φ, λ) (OpenQASM u3 convention).
+Matrix U3(double theta, double phi, double lambda);
+
+/// CNOT with control = first qubit (LSB), target = second qubit.
+Matrix CX();
+/// Controlled-Z (symmetric).
+Matrix CZ();
+/// Controlled-Y, control = first qubit.
+Matrix CY();
+/// SWAP.
+Matrix SWAP();
+/// iSWAP.
+Matrix ISWAP();
+
+/// Single-qubit Pauli by index: 0 → I, 1 → X, 2 → Y, 3 → Z.
+Matrix pauli(unsigned index);
+
+/// Name of Pauli index ("I", "X", "Y", "Z").
+std::string pauli_name(unsigned index);
+
+}  // namespace ptsbe::gates

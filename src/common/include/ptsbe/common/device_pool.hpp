@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file device_pool.hpp
+/// \brief Simulated multi-device execution pool.
+///
+/// The paper distributes trajectory specifications over H100 GPUs on an Eos
+/// SuperPod, both *inter*-trajectory (different specs on different devices —
+/// embarrassingly parallel) and *intra*-trajectory (one state sliced across
+/// devices). `DevicePool` models the inter-trajectory layer on CPU: each
+/// "device" is a worker thread with a stable device id, and jobs are scheduled
+/// dynamically (work stealing from a shared counter) so long trajectories do
+/// not straggle the batch. Intra-trajectory parallelism lives inside the
+/// backend kernels (OpenMP) and is configured independently.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+/// Pool of simulated devices for inter-trajectory parallelism.
+class DevicePool {
+ public:
+  /// Create a pool of `num_devices` simulated devices (>= 1).
+  explicit DevicePool(std::size_t num_devices = 1)
+      : num_devices_(num_devices == 0 ? 1 : num_devices) {}
+
+  /// Number of simulated devices.
+  [[nodiscard]] std::size_t num_devices() const noexcept { return num_devices_; }
+
+  /// Execute `job(device_id, job_index)` for job_index in [0, num_jobs),
+  /// dynamically load-balanced across devices. Blocks until all jobs finish.
+  ///
+  /// The first exception thrown by any job is captured and rethrown on the
+  /// calling thread after all devices drain.
+  void run_batch(std::size_t num_jobs,
+                 const std::function<void(std::size_t device_id,
+                                          std::size_t job_index)>& job) const {
+    if (num_jobs == 0) return;
+    if (num_devices_ == 1) {
+      for (std::size_t i = 0; i < num_jobs; ++i) job(0, i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> devices;
+    devices.reserve(num_devices_);
+    for (std::size_t d = 0; d < num_devices_; ++d) {
+      devices.emplace_back([&, d] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= num_jobs) break;
+          try {
+            job(d, i);
+          } catch (...) {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    for (auto& t : devices) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  std::size_t num_devices_;
+};
+
+}  // namespace ptsbe

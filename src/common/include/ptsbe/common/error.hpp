@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file error.hpp
+/// \brief Error-handling primitives used across the PTSBE libraries.
+///
+/// Following the C++ Core Guidelines (E.*), programming-contract violations
+/// throw `std::logic_error`-derived types and runtime failures throw
+/// `std::runtime_error`-derived types. Hot kernels use `PTSBE_ASSERT`, which
+/// compiles out in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptsbe {
+
+/// Exception thrown when a caller violates a documented API precondition.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown when an internal invariant fails (library bug).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown for runtime resource/configuration failures
+/// (e.g. unwritable dataset file, inconsistent noise model binding).
+class runtime_failure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ptsbe
+
+/// Check a documented API precondition; throws ptsbe::precondition_error.
+#define PTSBE_REQUIRE(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::ptsbe::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Check an internal invariant; throws ptsbe::invariant_error.
+#define PTSBE_CHECK(expr, msg)                                            \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ptsbe::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only assertion for hot kernels; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define PTSBE_ASSERT(expr) ((void)0)
+#else
+#define PTSBE_ASSERT(expr)                                               \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::ptsbe::detail::throw_invariant(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+#endif

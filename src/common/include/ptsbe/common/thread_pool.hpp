@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// \brief Work-queue thread pool and chunked parallel_for.
+///
+/// In the paper, trajectory specifications are farmed out to GPUs in an
+/// embarrassingly parallel manner ("inter-trajectory" parallelism). This pool
+/// is the CPU stand-in: each worker thread plays the role of one device.
+/// Intra-kernel parallelism (the analogue of intra-trajectory multi-GPU state
+/// slicing) uses OpenMP inside the backend kernels instead.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptsbe {
+
+/// Fixed-size thread pool with a FIFO task queue.
+///
+/// Tasks are `std::function<void()>`; exceptions escaping a task terminate
+/// the program (tasks are expected to capture-and-report their own errors —
+/// the BE engine wraps execution accordingly).
+class ThreadPool {
+ public:
+  /// Start `num_threads` workers (0 → hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0) {
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard lock(mutex_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run `body(i)` for i in [begin, end) across `pool`, chunked so each worker
+/// receives contiguous ranges. Blocks until complete. With a null pool the
+/// loop runs inline (serial fallback).
+inline void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(n, pool->size() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::atomic<std::size_t> next{begin};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool->submit([&, chunk, end] {
+      while (true) {
+        const std::size_t lo = next.fetch_add(chunk);
+        if (lo >= end) break;
+        const std::size_t hi = std::min(lo + chunk, end);
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }
+    });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace ptsbe

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities for the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace ptsbe {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction or last reset().
+  [[nodiscard]] std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ptsbe

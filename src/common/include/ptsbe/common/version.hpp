@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file version.hpp
+/// \brief Library version identification.
+
+namespace ptsbe {
+
+/// Semantic version string of the PTSBE library.
+const char* version();
+
+}  // namespace ptsbe

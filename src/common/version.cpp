@@ -1,0 +1,7 @@
+#include "ptsbe/common/version.hpp"
+
+namespace ptsbe {
+
+const char* version() { return "0.1.0"; }
+
+}  // namespace ptsbe

@@ -1,0 +1,109 @@
+#include "ptsbe/core/dataset.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::dataset {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'T', 'S', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  PTSBE_CHECK(static_cast<bool>(is), "truncated dataset file");
+  return v;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path, const be::Result& result) {
+  std::ofstream os(path);
+  if (!os) throw runtime_failure("cannot open '" + path + "' for writing");
+  os << "trajectory,shot,record,nominal_probability,errors\n";
+  for (const be::TrajectoryBatch& batch : result.batches) {
+    std::string errors;
+    for (std::size_t i = 0; i < batch.spec.branches.size(); ++i) {
+      if (i) errors += ';';
+      errors += std::to_string(batch.spec.branches[i].site) + ':' +
+                std::to_string(batch.spec.branches[i].branch);
+    }
+    for (std::size_t s = 0; s < batch.records.size(); ++s) {
+      os << batch.spec_index << ',' << s << ',' << batch.records[s] << ','
+         << batch.spec.nominal_probability << ',' << errors << '\n';
+    }
+  }
+  if (!os) throw runtime_failure("error while writing '" + path + "'");
+}
+
+void write_binary(const std::string& path, const be::Result& result) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw runtime_failure("cannot open '" + path + "' for writing");
+  os.write(kMagic, 4);
+  put(os, kVersion);
+  put(os, static_cast<std::uint64_t>(result.batches.size()));
+  for (const be::TrajectoryBatch& batch : result.batches) {
+    put(os, static_cast<std::uint64_t>(batch.spec_index));
+    put(os, static_cast<std::uint64_t>(batch.device_id));
+    put(os, batch.spec.nominal_probability);
+    put(os, batch.realized_probability);
+    put(os, static_cast<std::uint64_t>(batch.spec.shots));
+    put(os, static_cast<std::uint64_t>(batch.spec.branches.size()));
+    for (const BranchChoice& bc : batch.spec.branches) {
+      put(os, static_cast<std::uint64_t>(bc.site));
+      put(os, static_cast<std::uint64_t>(bc.branch));
+    }
+    put(os, static_cast<std::uint64_t>(batch.records.size()));
+    os.write(reinterpret_cast<const char*>(batch.records.data()),
+             static_cast<std::streamsize>(batch.records.size() *
+                                          sizeof(std::uint64_t)));
+  }
+  if (!os) throw runtime_failure("error while writing '" + path + "'");
+}
+
+be::Result read_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw runtime_failure("cannot open '" + path + "' for reading");
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4))
+    throw runtime_failure("'" + path + "' is not a PTSB dataset");
+  const auto version = get<std::uint32_t>(is);
+  if (version != kVersion)
+    throw runtime_failure("unsupported dataset version " +
+                          std::to_string(version));
+  be::Result result;
+  const auto num_batches = get<std::uint64_t>(is);
+  result.batches.resize(num_batches);
+  for (be::TrajectoryBatch& batch : result.batches) {
+    batch.spec_index = get<std::uint64_t>(is);
+    batch.device_id = get<std::uint64_t>(is);
+    batch.spec.nominal_probability = get<double>(is);
+    batch.realized_probability = get<double>(is);
+    batch.spec.shots = get<std::uint64_t>(is);
+    const auto num_branches = get<std::uint64_t>(is);
+    batch.spec.branches.resize(num_branches);
+    for (BranchChoice& bc : batch.spec.branches) {
+      bc.site = get<std::uint64_t>(is);
+      bc.branch = get<std::uint64_t>(is);
+    }
+    const auto num_records = get<std::uint64_t>(is);
+    batch.records.resize(num_records);
+    is.read(reinterpret_cast<char*>(batch.records.data()),
+            static_cast<std::streamsize>(num_records * sizeof(std::uint64_t)));
+    PTSBE_CHECK(static_cast<bool>(is), "truncated dataset file");
+  }
+  return result;
+}
+
+}  // namespace ptsbe::dataset

@@ -1,0 +1,74 @@
+#include "ptsbe/core/estimator.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "ptsbe/common/bits.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::be {
+
+Estimate estimate(const Result& result, Weighting weighting,
+                  const std::function<double(std::uint64_t)>& f) {
+  PTSBE_REQUIRE(static_cast<bool>(f), "estimator needs an observable");
+  // Self-normalised importance estimate over per-shot weights v:
+  // μ = Σ v f / Σ v, with the standard weighted (effective-sample-size)
+  // standard error  SE² = Σ v²(f−μ)² / (Σ v)².  Shots within one batch share
+  // a trajectory, so SE mildly understates correlated components — callers
+  // comparing PTS strategies should prefer many trajectories over huge
+  // batches when error bars matter.
+  std::vector<double> per_shot_weight;
+  std::vector<double> values;
+  for (const TrajectoryBatch& batch : result.batches) {
+    if (batch.records.empty()) continue;  // unrealizable spec
+    double v = 0.0;
+    switch (weighting) {
+      case Weighting::kDrawWeighted:
+        // Each shot is one draw; correct nominal→realised.
+        PTSBE_REQUIRE(batch.spec.nominal_probability > 0.0,
+                      "draw-weighted batch with zero nominal probability");
+        v = batch.realized_probability / batch.spec.nominal_probability;
+        break;
+      case Weighting::kProbabilityWeighted:
+        v = batch.realized_probability /
+            static_cast<double>(batch.records.size());
+        break;
+    }
+    if (v <= 0.0) continue;
+    for (std::uint64_t r : batch.records) {
+      per_shot_weight.push_back(v);
+      values.push_back(f(r));
+    }
+  }
+  Estimate out;
+  if (per_shot_weight.empty()) return out;
+  double wsum = 0.0, num = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    wsum += per_shot_weight[i];
+    num += per_shot_weight[i] * values[i];
+  }
+  out.value = num / wsum;
+  out.total_weight = wsum;
+  double var = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = values[i] - out.value;
+    var += per_shot_weight[i] * per_shot_weight[i] * d * d;
+  }
+  out.std_error = std::sqrt(var) / wsum;
+  return out;
+}
+
+Estimate estimate_z_parity(const Result& result, Weighting weighting,
+                           std::uint64_t mask) {
+  return estimate(result, weighting, [mask](std::uint64_t r) {
+    return parity64(r & mask) ? -1.0 : 1.0;
+  });
+}
+
+Estimate estimate_probability(const Result& result, Weighting weighting,
+                              const std::function<bool(std::uint64_t)>& pred) {
+  return estimate(result, weighting,
+                  [&pred](std::uint64_t r) { return pred(r) ? 1.0 : 0.0; });
+}
+
+}  // namespace ptsbe::be

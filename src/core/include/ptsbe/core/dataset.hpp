@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file dataset.hpp
+/// \brief Shot-dataset persistence with error-provenance labels.
+///
+/// The paper's target application is generating massive labelled datasets
+/// (e.g. for training ML-based QEC decoders): each shot must carry the error
+/// content of the trajectory it was sampled from — the supervision signal
+/// physical hardware cannot provide. Two formats:
+///
+///  - CSV   — human-readable; one row per shot with its spec's branch list;
+///  - binary — compact columnar blocks, one per trajectory batch, suitable
+///    for the trillion-shot-scale corpora the paper reports.
+
+#include <string>
+#include <vector>
+
+#include "ptsbe/core/batched_execution.hpp"
+
+namespace ptsbe::dataset {
+
+/// Write a BE result as CSV: columns
+/// `trajectory,shot,record,nominal_probability,errors` where `errors` is a
+/// semicolon-joined list of `site:branch` tokens.
+/// \throws runtime_failure when the file cannot be written.
+void write_csv(const std::string& path, const be::Result& result);
+
+/// Write a BE result as the compact binary format (magic "PTSB", version 1).
+/// \throws runtime_failure when the file cannot be written.
+void write_binary(const std::string& path, const be::Result& result);
+
+/// Read a binary dataset back (round-trip of write_binary; prepare/sample
+/// timings are not persisted).
+/// \throws runtime_failure on missing/corrupt files.
+[[nodiscard]] be::Result read_binary(const std::string& path);
+
+}  // namespace ptsbe::dataset

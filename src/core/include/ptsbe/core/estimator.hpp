@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file estimator.hpp
+/// \brief Statistically sound observable estimation from BE results.
+///
+/// PTS strategies deliberately distort the sampling distribution (band
+/// selection, twirling, boosted correlations, nominal-probability sampling
+/// of general channels). To keep physical estimates unbiased, every batch
+/// carries enough metadata to reweight:
+///
+///  - `kDrawWeighted`   — specs whose *shot counts* already encode the draw
+///    frequency (Algorithm 2 with merge_duplicates): weight each shot by the
+///    realised/nominal importance ratio (1 for unitary mixtures);
+///  - `kProbabilityWeighted` — specs enumerated or filtered deterministically:
+///    weight each batch by its realised probability.
+///
+/// Estimators are self-normalising importance samplers; `Estimate` carries
+/// the value and a weighted (effective-sample-size) standard error so
+/// downstream users can see when a band/tail sample is too thin to trust.
+
+#include <cstdint>
+#include <functional>
+
+#include "ptsbe/core/batched_execution.hpp"
+
+namespace ptsbe::be {
+
+/// How the spec batch was produced (see file comment).
+enum class Weighting : std::uint8_t {
+  kDrawWeighted,         ///< stochastic PTS draws (shots ∝ draw frequency)
+  kProbabilityWeighted,  ///< deterministic enumeration / band filtering
+};
+
+/// A point estimate with a weighted standard error.
+struct Estimate {
+  double value = 0.0;
+  double std_error = 0.0;
+  double total_weight = 0.0;  ///< Probability mass covered (diagnostics).
+};
+
+/// Estimate E[f(record)] under the physical noisy distribution from a BE
+/// result; `f` maps a measurement record to a real value (e.g. a parity
+/// ±1, an acceptance indicator, a decoded logical bit).
+[[nodiscard]] Estimate estimate(
+    const Result& result, Weighting weighting,
+    const std::function<double(std::uint64_t)>& f);
+
+/// Convenience: expectation of the Z-parity (+1/-1) over the record bits
+/// selected by `mask` — ⟨Z…Z⟩ for computational-basis readouts.
+[[nodiscard]] Estimate estimate_z_parity(const Result& result,
+                                         Weighting weighting,
+                                         std::uint64_t mask);
+
+/// Convenience: probability that `predicate` holds.
+[[nodiscard]] Estimate estimate_probability(
+    const Result& result, Weighting weighting,
+    const std::function<bool(std::uint64_t)>& predicate);
+
+}  // namespace ptsbe::be

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file pts.hpp
+/// \brief Pre-Trajectory Sampling algorithms (the paper's §3.1).
+///
+/// PTS decouples stochastic noise decisions from state evolution: these
+/// functions run *before* any simulator touches a state, producing
+/// `TrajectorySpec`s for Batched Execution. The family implemented here:
+///
+///  - `sample_probabilistic`   — the paper's Algorithm 2 (with dedup);
+///  - `redistribute_proportional` — shot reallocation ∝ joint probability
+///    p'_α = p_α / Σ p (for expectation-value estimation);
+///  - `filter_band`            — keep specs with p_α ∈ [p_min, p_max];
+///  - `enumerate_most_likely`  — exhaust all error combinations with joint
+///    probability above a cutoff (branch-and-bound over sites);
+///  - `sample_pauli_twirled`   — tailored injection: fired sites choose
+///    uniformly among error branches (Pauli-twirl style error scrambling);
+///  - `sample_spatially_correlated` — cluster errors on neighbouring qubits;
+///  - `SiteFilter`             — the "selection criteria on Line 5" hook
+///    (gate type / qubit / site predicates).
+///
+/// The paper's `compatible()` check (no two operators on the same qubit at
+/// the same time) holds by construction here: a noise site is a unique
+/// program location, and a spec assigns exactly one branch per site.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ptsbe/common/rng.hpp"
+#include "ptsbe/core/trajectory_spec.hpp"
+
+namespace ptsbe::pts {
+
+/// Options shared by the stochastic PTS samplers.
+struct Options {
+  /// Number of candidate trajectory draws (Algorithm 2's `nsamples`).
+  std::size_t nsamples = 100;
+  /// Shots assigned to each accepted spec (Algorithm 2's `nshots`).
+  std::uint64_t nshots = 1000;
+  /// Merge duplicate assignments by summing their shot budgets instead of
+  /// discarding redraws (Algorithm 2 discards; merging preserves the
+  /// proportional shot weighting).
+  bool merge_duplicates = false;
+};
+
+/// Predicate restricting which (site, branch) choices a sampler may fire —
+/// the "selection criteria" extension of Algorithm 2 Line 5. All set members
+/// must accept for the choice to be allowed; an unset member accepts
+/// everything.
+struct SiteFilter {
+  /// Only sites attached to gates with this name ("cx", …).
+  std::optional<std::string> gate_name;
+  /// Only sites touching at least one of these qubits.
+  std::optional<std::vector<unsigned>> qubits;
+  /// Arbitrary predicate on (site, branch).
+  std::function<bool(const NoiseSite&, std::size_t branch)> predicate;
+
+  /// True when the filter admits firing `branch` at `site` of `noisy`.
+  [[nodiscard]] bool allows(const NoisyCircuit& noisy, const NoiseSite& site,
+                            std::size_t branch) const;
+};
+
+/// The paper's Algorithm 2: draw `nsamples` trajectories by sampling each
+/// site's branch from its nominal distribution, keep the unique ones, and
+/// assign `nshots` to each. `filter` (optional) suppresses disallowed error
+/// branches (the site falls back to its default branch instead).
+[[nodiscard]] std::vector<TrajectorySpec> sample_probabilistic(
+    const NoisyCircuit& noisy, const Options& options, RngStream& rng,
+    const SiteFilter* filter = nullptr);
+
+/// Reallocate a batch's total shot budget proportionally to each spec's
+/// nominal probability: shots_α = round(total · p_α / Σ p). Specs rounding
+/// to zero shots are dropped. Total is preserved up to rounding.
+[[nodiscard]] std::vector<TrajectorySpec> redistribute_proportional(
+    std::vector<TrajectorySpec> specs, std::uint64_t total_shots);
+
+/// Keep only specs whose nominal probability lies in [p_min, p_max].
+[[nodiscard]] std::vector<TrajectorySpec> filter_band(
+    std::vector<TrajectorySpec> specs, double p_min, double p_max);
+
+/// Exhaustively enumerate every error combination whose joint nominal
+/// probability is ≥ `probability_cutoff`, by depth-first branch-and-bound
+/// over sites (the paper's "most common errors … above a given cutoff").
+/// Results are sorted by descending probability; `max_results` (0 = all)
+/// truncates after sorting. Each spec receives `nshots`.
+[[nodiscard]] std::vector<TrajectorySpec> enumerate_most_likely(
+    const NoisyCircuit& noisy, double probability_cutoff,
+    std::uint64_t nshots, std::size_t max_results = 0);
+
+/// Tailored injection: like Algorithm 2, but every fired site picks its
+/// error branch *uniformly* among non-default branches, scrambling error
+/// types the way Pauli twirling scrambles coherent errors. The spec's
+/// nominal_probability still reports the true joint probability of the
+/// realisation it encodes.
+[[nodiscard]] std::vector<TrajectorySpec> sample_pauli_twirled(
+    const NoisyCircuit& noisy, const Options& options, RngStream& rng);
+
+/// Spatially correlated injection: when a site fires, neighbouring sites
+/// (those sharing a qubit within ±`radius` qubit indices) fire with their
+/// error probability multiplied by `boost` (clamped to 1). Models correlated
+/// noise bursts for QEC stress analysis.
+[[nodiscard]] std::vector<TrajectorySpec> sample_spatially_correlated(
+    const NoisyCircuit& noisy, const Options& options, RngStream& rng,
+    double boost, unsigned radius = 1);
+
+/// Dedup helper: canonicalise (sort branches by site) and combine duplicate
+/// assignments (summing shots when `merge`, else keeping the first).
+[[nodiscard]] std::vector<TrajectorySpec> dedup(
+    std::vector<TrajectorySpec> specs, bool merge);
+
+}  // namespace ptsbe::pts

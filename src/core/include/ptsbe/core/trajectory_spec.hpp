@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file trajectory_spec.hpp
+/// \brief Trajectory specifications — the currency between PTS and BE.
+///
+/// A `TrajectorySpec` is one pre-sampled noise realisation: a sparse
+/// assignment of Kraus branches to noise sites (sites not listed take their
+/// channel's default branch) plus the number of shots `m_α` Batched
+/// Execution should collect from the prepared state. These are exactly the
+/// `{K_α0 … K_αi}, m_α` pairs of the paper's Fig. 1, and the lightweight
+/// error-provenance metadata the paper's third bullet promises: every shot
+/// in a batch inherits its spec's branch list as a training label.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptsbe/noise/noise_model.hpp"
+
+namespace ptsbe {
+
+/// One (site, branch) choice inside a trajectory specification.
+struct BranchChoice {
+  std::size_t site = 0;    ///< Index into NoisyCircuit::sites().
+  std::size_t branch = 0;  ///< Kraus branch index within the site's channel.
+
+  friend bool operator==(const BranchChoice&, const BranchChoice&) = default;
+  friend auto operator<=>(const BranchChoice&, const BranchChoice&) = default;
+};
+
+/// A pre-sampled trajectory: sparse branch assignment + shot budget.
+struct TrajectorySpec {
+  /// Non-default branch choices, sorted by site index (canonical form —
+  /// required for deduplication).
+  std::vector<BranchChoice> branches;
+  /// Number of shots BE should draw from this trajectory's prepared state.
+  std::uint64_t shots = 0;
+  /// Joint nominal probability of this realisation (exact for
+  /// unitary-mixture programs).
+  double nominal_probability = 0.0;
+
+  /// Number of non-default (error) branches.
+  [[nodiscard]] std::size_t error_weight() const noexcept {
+    return branches.size();
+  }
+
+  /// Canonical-form equality (same branch assignment; shots/probability are
+  /// payload, not identity).
+  [[nodiscard]] bool same_assignment(const TrajectorySpec& other) const {
+    return branches == other.branches;
+  }
+
+  /// FNV-1a hash of the branch assignment, for dedup containers.
+  [[nodiscard]] std::uint64_t assignment_hash() const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    for (const BranchChoice& bc : branches) {
+      mix(bc.site);
+      mix(bc.branch);
+    }
+    return h;
+  }
+};
+
+/// Human-readable provenance description of a spec's error content, e.g.
+/// "site 4 (after op 2 'cx', qubits {0,1}): depolarizing2 branch 7".
+/// Returns one line per non-default branch; empty vector = error-free
+/// trajectory.
+[[nodiscard]] std::vector<std::string> describe_errors(
+    const NoisyCircuit& noisy, const TrajectorySpec& spec);
+
+/// Total shots across a batch of specs.
+[[nodiscard]] std::uint64_t total_shots(
+    const std::vector<TrajectorySpec>& specs);
+
+/// Recompute each spec's nominal probability against `noisy` (specs created
+/// by hand or loaded from disk may carry stale values).
+void refresh_probabilities(const NoisyCircuit& noisy,
+                           std::vector<TrajectorySpec>& specs);
+
+}  // namespace ptsbe

@@ -1,0 +1,280 @@
+#include "ptsbe/core/pts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::pts {
+
+namespace {
+
+/// Draw a branch for one site from its channel's nominal distribution.
+std::size_t draw_branch(const NoiseSite& site, RngStream& rng) {
+  const auto& probs = site.channel->nominal_probabilities();
+  const double r = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t b = 0; b + 1 < probs.size(); ++b) {
+    acc += probs[b];
+    if (r < acc) return b;
+  }
+  return probs.size() - 1;
+}
+
+void finalize_spec(const NoisyCircuit& noisy, TrajectorySpec& spec) {
+  std::sort(spec.branches.begin(), spec.branches.end());
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(spec.branches.size());
+  for (const BranchChoice& bc : spec.branches) pairs.push_back({bc.site, bc.branch});
+  spec.nominal_probability = noisy.nominal_sparse_probability(pairs);
+}
+
+}  // namespace
+
+bool SiteFilter::allows(const NoisyCircuit& noisy, const NoiseSite& site,
+                        std::size_t branch) const {
+  if (gate_name.has_value()) {
+    if (site.after_op == NoiseSite::kBeforeCircuit) return false;
+    if (noisy.circuit().ops()[site.after_op].name != *gate_name) return false;
+  }
+  if (qubits.has_value()) {
+    bool touches = false;
+    for (unsigned q : site.qubits)
+      if (std::find(qubits->begin(), qubits->end(), q) != qubits->end()) {
+        touches = true;
+        break;
+      }
+    if (!touches) return false;
+  }
+  if (predicate && !predicate(site, branch)) return false;
+  return true;
+}
+
+std::vector<TrajectorySpec> sample_probabilistic(const NoisyCircuit& noisy,
+                                                 const Options& options,
+                                                 RngStream& rng,
+                                                 const SiteFilter* filter) {
+  std::vector<TrajectorySpec> specs;
+  specs.reserve(options.nsamples);
+  for (std::size_t s = 0; s < options.nsamples; ++s) {
+    TrajectorySpec spec;
+    spec.shots = options.nshots;
+    for (const NoiseSite& site : noisy.sites()) {
+      const std::size_t branch = draw_branch(site, rng);
+      if (branch == site.channel->default_branch()) continue;
+      if (filter != nullptr && !filter->allows(noisy, site, branch)) continue;
+      spec.branches.push_back({site.index, branch});
+    }
+    finalize_spec(noisy, spec);
+    specs.push_back(std::move(spec));
+  }
+  return dedup(std::move(specs), options.merge_duplicates);
+}
+
+std::vector<TrajectorySpec> dedup(std::vector<TrajectorySpec> specs, bool merge) {
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  std::vector<TrajectorySpec> out;
+  out.reserve(specs.size());
+  for (TrajectorySpec& spec : specs) {
+    std::sort(spec.branches.begin(), spec.branches.end());
+    const std::uint64_t h = spec.assignment_hash();
+    auto& bucket = buckets[h];
+    bool duplicate = false;
+    for (std::size_t idx : bucket) {
+      if (out[idx].same_assignment(spec)) {
+        if (merge) out[idx].shots += spec.shots;
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      bucket.push_back(out.size());
+      out.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+std::vector<TrajectorySpec> redistribute_proportional(
+    std::vector<TrajectorySpec> specs, std::uint64_t total) {
+  double sum = 0.0;
+  for (const TrajectorySpec& s : specs) sum += s.nominal_probability;
+  PTSBE_REQUIRE(sum > 0.0,
+                "cannot redistribute shots over zero total probability");
+  std::vector<TrajectorySpec> out;
+  out.reserve(specs.size());
+  for (TrajectorySpec& s : specs) {
+    const double share = s.nominal_probability / sum;
+    s.shots = static_cast<std::uint64_t>(
+        std::llround(share * static_cast<double>(total)));
+    if (s.shots > 0) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<TrajectorySpec> filter_band(std::vector<TrajectorySpec> specs,
+                                        double p_min, double p_max) {
+  PTSBE_REQUIRE(p_min <= p_max, "band bounds out of order");
+  std::vector<TrajectorySpec> out;
+  out.reserve(specs.size());
+  for (TrajectorySpec& s : specs)
+    if (s.nominal_probability >= p_min && s.nominal_probability <= p_max)
+      out.push_back(std::move(s));
+  return out;
+}
+
+std::vector<TrajectorySpec> enumerate_most_likely(const NoisyCircuit& noisy,
+                                                  double probability_cutoff,
+                                                  std::uint64_t nshots,
+                                                  std::size_t max_results) {
+  PTSBE_REQUIRE(probability_cutoff > 0.0, "cutoff must be positive");
+  const auto& sites = noisy.sites();
+  const std::size_t n = sites.size();
+
+  // Per-site default probability and suffix products of the *maximum*
+  // achievable remaining probability (for branch-and-bound pruning).
+  std::vector<double> best_remaining(n + 1, 1.0);
+  for (std::size_t i = n; i-- > 0;) {
+    const auto& probs = sites[i].channel->nominal_probabilities();
+    const double site_best = *std::max_element(probs.begin(), probs.end());
+    best_remaining[i] = best_remaining[i + 1] * site_best;
+  }
+
+  std::vector<TrajectorySpec> out;
+  TrajectorySpec current;
+  current.shots = nshots;
+
+  // DFS over sites; at each site try every branch whose running product can
+  // still clear the cutoff.
+  std::function<void(std::size_t, double)> visit = [&](std::size_t i,
+                                                       double p_so_far) {
+    if (p_so_far * best_remaining[i] < probability_cutoff) return;
+    if (i == n) {
+      TrajectorySpec spec = current;
+      spec.nominal_probability = p_so_far;
+      out.push_back(std::move(spec));
+      return;
+    }
+    const NoiseSite& site = sites[i];
+    const auto& probs = site.channel->nominal_probabilities();
+    const std::size_t def = site.channel->default_branch();
+    // Default branch first (highest-probability subtree usually).
+    visit(i + 1, p_so_far * probs[def]);
+    for (std::size_t b = 0; b < probs.size(); ++b) {
+      if (b == def || probs[b] <= 0.0) continue;
+      current.branches.push_back({site.index, b});
+      visit(i + 1, p_so_far * probs[b]);
+      current.branches.pop_back();
+    }
+  };
+  visit(0, 1.0);
+
+  std::sort(out.begin(), out.end(),
+            [](const TrajectorySpec& a, const TrajectorySpec& b) {
+              return a.nominal_probability > b.nominal_probability;
+            });
+  if (max_results != 0 && out.size() > max_results) out.resize(max_results);
+  return out;
+}
+
+std::vector<TrajectorySpec> sample_pauli_twirled(const NoisyCircuit& noisy,
+                                                 const Options& options,
+                                                 RngStream& rng) {
+  std::vector<TrajectorySpec> specs;
+  specs.reserve(options.nsamples);
+  for (std::size_t s = 0; s < options.nsamples; ++s) {
+    TrajectorySpec spec;
+    spec.shots = options.nshots;
+    for (const NoiseSite& site : noisy.sites()) {
+      const auto& probs = site.channel->nominal_probabilities();
+      const std::size_t def = site.channel->default_branch();
+      const double p_error = 1.0 - probs[def];
+      if (p_error <= 0.0) continue;
+      if (rng.uniform() >= p_error) continue;
+      // Fired: scramble the error type uniformly over non-default branches.
+      std::vector<std::size_t> error_branches;
+      for (std::size_t b = 0; b < probs.size(); ++b)
+        if (b != def) error_branches.push_back(b);
+      const std::size_t pick =
+          error_branches[rng.uniform_index(error_branches.size())];
+      spec.branches.push_back({site.index, pick});
+    }
+    finalize_spec(noisy, spec);
+    specs.push_back(std::move(spec));
+  }
+  return dedup(std::move(specs), options.merge_duplicates);
+}
+
+std::vector<TrajectorySpec> sample_spatially_correlated(
+    const NoisyCircuit& noisy, const Options& options, RngStream& rng,
+    double boost, unsigned radius) {
+  PTSBE_REQUIRE(boost >= 1.0, "boost must be >= 1");
+  const auto& sites = noisy.sites();
+  const auto near = [&](const NoiseSite& a, const NoiseSite& b) {
+    for (unsigned qa : a.qubits)
+      for (unsigned qb : b.qubits) {
+        const unsigned lo = std::min(qa, qb), hi = std::max(qa, qb);
+        if (hi - lo <= radius) return true;
+      }
+    return false;
+  };
+  std::vector<TrajectorySpec> specs;
+  specs.reserve(options.nsamples);
+  for (std::size_t s = 0; s < options.nsamples; ++s) {
+    TrajectorySpec spec;
+    spec.shots = options.nshots;
+    // First pass: independent firing. Second pass: boosted firing next to
+    // already-fired sites.
+    std::vector<bool> fired(sites.size(), false);
+    std::vector<std::size_t> chosen(sites.size(), 0);
+    for (const NoiseSite& site : sites) {
+      const std::size_t branch = draw_branch(site, rng);
+      if (branch != site.channel->default_branch()) {
+        fired[site.index] = true;
+        chosen[site.index] = branch;
+      }
+    }
+    for (const NoiseSite& site : sites) {
+      if (fired[site.index]) continue;
+      bool neighbour_fired = false;
+      for (const NoiseSite& other : sites) {
+        if (!fired[other.index] || other.index == site.index) continue;
+        if (near(site, other)) {
+          neighbour_fired = true;
+          break;
+        }
+      }
+      if (!neighbour_fired) continue;
+      const auto& probs = site.channel->nominal_probabilities();
+      const std::size_t def = site.channel->default_branch();
+      const double p_error = std::min(1.0, boost * (1.0 - probs[def]));
+      if (rng.uniform() >= p_error) continue;
+      // Pick among error branches proportionally to their probabilities.
+      double total = 0.0;
+      for (std::size_t b = 0; b < probs.size(); ++b)
+        if (b != def) total += probs[b];
+      if (total <= 0.0) continue;
+      double r = rng.uniform() * total;
+      std::size_t pick = def;
+      for (std::size_t b = 0; b < probs.size(); ++b) {
+        if (b == def) continue;
+        r -= probs[b];
+        if (r < 0.0) {
+          pick = b;
+          break;
+        }
+      }
+      if (pick == def) continue;
+      fired[site.index] = true;
+      chosen[site.index] = pick;
+    }
+    for (std::size_t i = 0; i < sites.size(); ++i)
+      if (fired[i]) spec.branches.push_back({i, chosen[i]});
+    finalize_spec(noisy, spec);
+    specs.push_back(std::move(spec));
+  }
+  return dedup(std::move(specs), options.merge_duplicates);
+}
+
+}  // namespace ptsbe::pts

@@ -1,0 +1,51 @@
+#include "ptsbe/core/trajectory_spec.hpp"
+
+#include <sstream>
+
+#include "ptsbe/circuit/gates.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+std::vector<std::string> describe_errors(const NoisyCircuit& noisy,
+                                         const TrajectorySpec& spec) {
+  std::vector<std::string> out;
+  out.reserve(spec.branches.size());
+  for (const BranchChoice& bc : spec.branches) {
+    PTSBE_REQUIRE(bc.site < noisy.num_sites(), "site index out of range");
+    const NoiseSite& site = noisy.sites()[bc.site];
+    std::ostringstream os;
+    os << "site " << bc.site;
+    if (site.after_op == NoiseSite::kBeforeCircuit) {
+      os << " (state prep";
+    } else {
+      os << " (after op " << site.after_op << " '"
+         << noisy.circuit().ops()[site.after_op].name << '\'';
+    }
+    os << ", qubits {";
+    for (std::size_t i = 0; i < site.qubits.size(); ++i)
+      os << (i ? "," : "") << site.qubits[i];
+    os << "}): " << site.channel->name() << " branch " << bc.branch;
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+std::uint64_t total_shots(const std::vector<TrajectorySpec>& specs) {
+  std::uint64_t total = 0;
+  for (const TrajectorySpec& s : specs) total += s.shots;
+  return total;
+}
+
+void refresh_probabilities(const NoisyCircuit& noisy,
+                           std::vector<TrajectorySpec>& specs) {
+  for (TrajectorySpec& spec : specs) {
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(spec.branches.size());
+    for (const BranchChoice& bc : spec.branches)
+      pairs.push_back({bc.site, bc.branch});
+    spec.nominal_probability = noisy.nominal_sparse_probability(pairs);
+  }
+}
+
+}  // namespace ptsbe

@@ -1,0 +1,210 @@
+#include "ptsbe/densmat/density_matrix.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "ptsbe/common/bits.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+DensityMatrix::DensityMatrix(unsigned num_qubits)
+    : n_(num_qubits), dim_(pow2(num_qubits)) {
+  PTSBE_REQUIRE(num_qubits >= 1 && num_qubits <= 13,
+                "density matrix supports 1..13 qubits (memory gate)");
+  rho_.assign(dim_ * dim_, cplx{0.0, 0.0});
+  rho_[0] = cplx{1.0, 0.0};
+}
+
+void DensityMatrix::reset() {
+  std::fill(rho_.begin(), rho_.end(), cplx{0.0, 0.0});
+  rho_[0] = cplx{1.0, 0.0};
+}
+
+cplx DensityMatrix::element(std::uint64_t r, std::uint64_t c) const {
+  PTSBE_REQUIRE(r < dim_ && c < dim_, "element index out of range");
+  return rho_[r * dim_ + c];
+}
+
+void DensityMatrix::apply_op_left(const Matrix& m,
+                                  std::span<const unsigned> qubits) {
+  const unsigned k = static_cast<unsigned>(qubits.size());
+  const std::size_t block = std::size_t{1} << k;
+  std::vector<unsigned> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t groups = dim_ >> k;
+  std::vector<cplx> in(block), out(block);
+  std::vector<std::uint64_t> rows(block);
+  for (std::uint64_t c = 0; c < dim_; ++c) {
+    for (std::uint64_t g = 0; g < groups; ++g) {
+      std::uint64_t base = g;
+      for (unsigned b = 0; b < k; ++b) base = insert_zero_bit(base, sorted[b]);
+      for (std::size_t local = 0; local < block; ++local) {
+        std::uint64_t full = base;
+        for (unsigned b = 0; b < k; ++b)
+          if ((local >> b) & 1u) full |= 1ULL << qubits[b];
+        rows[local] = full;
+        in[local] = rho_[full * dim_ + c];
+      }
+      for (std::size_t r = 0; r < block; ++r) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t cc = 0; cc < block; ++cc) acc += m(r, cc) * in[cc];
+        out[r] = acc;
+      }
+      for (std::size_t local = 0; local < block; ++local)
+        rho_[rows[local] * dim_ + c] = out[local];
+    }
+  }
+}
+
+void DensityMatrix::apply_op_right_dagger(const Matrix& m,
+                                          std::span<const unsigned> qubits) {
+  const unsigned k = static_cast<unsigned>(qubits.size());
+  const std::size_t block = std::size_t{1} << k;
+  std::vector<unsigned> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t groups = dim_ >> k;
+  std::vector<cplx> in(block), out(block);
+  std::vector<std::uint64_t> cols(block);
+  for (std::uint64_t r = 0; r < dim_; ++r) {
+    cplx* const row = rho_.data() + r * dim_;
+    for (std::uint64_t g = 0; g < groups; ++g) {
+      std::uint64_t base = g;
+      for (unsigned b = 0; b < k; ++b) base = insert_zero_bit(base, sorted[b]);
+      for (std::size_t local = 0; local < block; ++local) {
+        std::uint64_t full = base;
+        for (unsigned b = 0; b < k; ++b)
+          if ((local >> b) & 1u) full |= 1ULL << qubits[b];
+        cols[local] = full;
+        in[local] = row[full];
+      }
+      // (ρ M†)(r, c) = Σ_cc ρ(r, cc) · conj(M(c, cc))
+      for (std::size_t c = 0; c < block; ++c) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t cc = 0; cc < block; ++cc)
+          acc += in[cc] * std::conj(m(c, cc));
+        out[c] = acc;
+      }
+      for (std::size_t local = 0; local < block; ++local)
+        row[cols[local]] = out[local];
+    }
+  }
+}
+
+void DensityMatrix::apply_unitary(const Matrix& u,
+                                  std::span<const unsigned> qubits) {
+  const std::size_t block = std::size_t{1} << qubits.size();
+  PTSBE_REQUIRE(u.rows() == block && u.cols() == block,
+                "unitary dimension mismatch");
+  apply_op_left(u, qubits);
+  apply_op_right_dagger(u, qubits);
+}
+
+void DensityMatrix::apply_channel(const KrausChannel& channel,
+                                  std::span<const unsigned> qubits) {
+  PTSBE_REQUIRE(qubits.size() == channel.arity(),
+                "channel arity / qubit count mismatch");
+  // Accumulate Σ K ρ K† across branches from a saved copy of ρ.
+  const std::vector<cplx> saved = rho_;
+  std::vector<cplx> acc(rho_.size(), cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < channel.num_branches(); ++i) {
+    rho_ = saved;
+    apply_op_left(channel.kraus(i), qubits);
+    apply_op_right_dagger(channel.kraus(i), qubits);
+    for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += rho_[j];
+  }
+  rho_ = std::move(acc);
+}
+
+void DensityMatrix::apply_circuit(const Circuit& circuit) {
+  PTSBE_REQUIRE(circuit.num_qubits() <= n_, "circuit wider than the register");
+  for (const Operation& op : circuit.ops()) {
+    if (op.kind != OpKind::kGate) continue;
+    apply_unitary(op.matrix, op.qubits);
+  }
+}
+
+void DensityMatrix::apply_noisy_circuit(const NoisyCircuit& noisy) {
+  PTSBE_REQUIRE(noisy.num_qubits() <= n_, "program wider than the register");
+  const auto apply_sites = [&](const std::vector<std::size_t>& site_ids) {
+    for (std::size_t id : site_ids) {
+      const NoiseSite& s = noisy.sites()[id];
+      apply_channel(*s.channel, s.qubits);
+    }
+  };
+  apply_sites(noisy.sites_after(NoiseSite::kBeforeCircuit));
+  const auto& ops = noisy.circuit().ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kGate) apply_unitary(ops[i].matrix, ops[i].qubits);
+    apply_sites(noisy.sites_after(i));
+  }
+}
+
+double DensityMatrix::trace_real() const {
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < dim_; ++i) t += rho_[i * dim_ + i].real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // tr(ρ²) = Σ_{r,c} ρ(r,c)·ρ(c,r) = Σ |ρ(r,c)|² for Hermitian ρ.
+  double s = 0.0;
+  for (const cplx& v : rho_) s += std::norm(v);
+  return s;
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(dim_);
+  for (std::uint64_t i = 0; i < dim_; ++i) p[i] = rho_[i * dim_ + i].real();
+  return p;
+}
+
+double DensityMatrix::fidelity_with_pure(std::span<const cplx> psi) const {
+  PTSBE_REQUIRE(psi.size() == dim_, "pure state dimension mismatch");
+  cplx acc{0.0, 0.0};
+  for (std::uint64_t r = 0; r < dim_; ++r) {
+    cplx row{0.0, 0.0};
+    for (std::uint64_t c = 0; c < dim_; ++c) row += rho_[r * dim_ + c] * psi[c];
+    acc += std::conj(psi[r]) * row;
+  }
+  return acc.real();
+}
+
+double DensityMatrix::expectation_pauli(const std::string& pauli,
+                                        std::span<const unsigned> qubits) const {
+  PTSBE_REQUIRE(pauli.size() == qubits.size(),
+                "pauli string length must match qubit count");
+  DensityMatrix tmp = *this;
+  for (std::size_t i = 0; i < pauli.size(); ++i) {
+    const std::array<unsigned, 1> q{qubits[i]};
+    switch (pauli[i]) {
+      case 'I': break;
+      case 'X': tmp.apply_op_left(gates::X(), q); break;
+      case 'Y': tmp.apply_op_left(gates::Y(), q); break;
+      case 'Z': tmp.apply_op_left(gates::Z(), q); break;
+      default: PTSBE_REQUIRE(false, "pauli character must be one of IXYZ");
+    }
+  }
+  // tr(P ρ) accumulated as the trace of the left-multiplied copy.
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < dim_; ++i) t += tmp.rho_[i * dim_ + i].real();
+  return t;
+}
+
+std::vector<std::uint64_t> DensityMatrix::sample_shots(std::size_t count,
+                                                       RngStream& rng) const {
+  std::vector<std::uint64_t> shots(count);
+  if (count == 0) return shots;
+  const std::vector<double> u = rng.sorted_uniforms(count);
+  std::size_t ptr = 0;
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < dim_ && ptr < count; ++i) {
+    acc += std::max(0.0, rho_[i * dim_ + i].real());
+    while (ptr < count && u[ptr] < acc) shots[ptr++] = i;
+  }
+  for (; ptr < count; ++ptr) shots[ptr] = dim_ - 1;
+  return shots;
+}
+
+}  // namespace ptsbe

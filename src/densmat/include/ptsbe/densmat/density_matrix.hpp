@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file density_matrix.hpp
+/// \brief Exact density-matrix simulator.
+///
+/// The O(4^n) gold-standard representation of a noisy quantum system that
+/// the paper's introduction frames trajectory methods against. Used here as
+/// the ground truth that every trajectory-based pipeline (Algorithm-1
+/// baseline and PTSBE) must statistically converge to — the core validation
+/// of the whole repository. Practical up to ~10 qubits.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/common/rng.hpp"
+#include "ptsbe/linalg/matrix.hpp"
+#include "ptsbe/noise/noise_model.hpp"
+
+namespace ptsbe {
+
+/// Dense 2^n × 2^n density matrix with unitary/channel application.
+class DensityMatrix {
+ public:
+  /// |0…0⟩⟨0…0| on `num_qubits` qubits. Precondition: 1 <= num_qubits <= 13.
+  explicit DensityMatrix(unsigned num_qubits);
+
+  /// Reset to |0…0⟩⟨0…0|.
+  void reset();
+
+  [[nodiscard]] unsigned num_qubits() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t dim() const noexcept { return dim_; }
+
+  /// Element ρ(r, c).
+  [[nodiscard]] cplx element(std::uint64_t r, std::uint64_t c) const;
+
+  /// ρ ← U ρ U† for unitary U on `qubits` (first listed = LSB).
+  void apply_unitary(const Matrix& u, std::span<const unsigned> qubits);
+
+  /// ρ ← Σ_i K_i ρ K_i† for a Kraus channel on `qubits`.
+  void apply_channel(const KrausChannel& channel,
+                     std::span<const unsigned> qubits);
+
+  /// Run all gate ops of a coherent circuit.
+  void apply_circuit(const Circuit& circuit);
+
+  /// Run a noisy program exactly: every gate, with every noise site applied
+  /// as its full channel (no sampling). The result is the exact mixed state
+  /// all trajectory ensembles approximate.
+  void apply_noisy_circuit(const NoisyCircuit& noisy);
+
+  /// tr(ρ) — 1 for valid evolutions.
+  [[nodiscard]] double trace_real() const;
+
+  /// tr(ρ²) — purity.
+  [[nodiscard]] double purity() const;
+
+  /// Diagonal of ρ: exact computational-basis outcome distribution.
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// ⟨ψ|ρ|ψ⟩ fidelity against a pure state given by its amplitudes.
+  [[nodiscard]] double fidelity_with_pure(std::span<const cplx> psi) const;
+
+  /// Expectation tr(ρP) of a Pauli string on `qubits`.
+  [[nodiscard]] double expectation_pauli(const std::string& pauli,
+                                         std::span<const unsigned> qubits) const;
+
+  /// Bulk computational-basis shots from the diagonal (sorted-uniform pass).
+  [[nodiscard]] std::vector<std::uint64_t> sample_shots(std::size_t count,
+                                                        RngStream& rng) const;
+
+ private:
+  // Left-multiply rows by M on `qubits` (ρ ← M ρ), then the adjoint pass
+  // right-multiplies (ρ ← ρ M†); both via the same strided kernel.
+  void apply_op_left(const Matrix& m, std::span<const unsigned> qubits);
+  void apply_op_right_dagger(const Matrix& m, std::span<const unsigned> qubits);
+
+  unsigned n_;
+  std::uint64_t dim_;
+  std::vector<cplx> rho_;  // row-major dim_ × dim_
+};
+
+}  // namespace ptsbe

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file svd.hpp
+/// \brief Complex singular value decomposition via one-sided Jacobi.
+///
+/// The MPS backend truncates bond dimensions with SVDs of χd × χd blocks.
+/// We implement the decomposition from scratch (no LAPACK dependency) using
+/// the Hestenes one-sided Jacobi method: pairs of columns are rotated by the
+/// exact eigenvector unitary of their 2×2 Gram matrix until all columns are
+/// mutually orthogonal. Jacobi SVD is backward-stable and computes small
+/// singular values to high relative accuracy — exactly what truncation
+/// decisions need.
+
+#include <vector>
+
+#include "ptsbe/linalg/matrix.hpp"
+
+namespace ptsbe {
+
+/// Result of a thin SVD: A (m×n) = U (m×r) · diag(S) (r) · V† (r×n),
+/// r = min(m, n), singular values sorted descending.
+struct SvdResult {
+  Matrix u;                    ///< Left singular vectors, m×r.
+  std::vector<double> s;       ///< Singular values, descending, length r.
+  Matrix vdag;                 ///< Right singular vectors (conjugated), r×n.
+};
+
+/// Compute the thin SVD of `a` by one-sided Jacobi.
+///
+/// \param a         Input matrix (any shape; empty is a precondition error).
+/// \param max_sweeps Safety bound on Jacobi sweeps (default ample for the
+///                   well-conditioned blocks MPS produces).
+/// \throws invariant_error if the sweep limit is reached before convergence.
+[[nodiscard]] SvdResult svd(const Matrix& a, int max_sweeps = 64);
+
+/// Number of singular values to keep so the *discarded* squared weight is at
+/// most `truncation_error` (relative to total squared weight), capped at
+/// `max_keep` (0 = uncapped). Always keeps at least one value if any is
+/// positive.
+[[nodiscard]] std::size_t truncated_rank(const std::vector<double>& s,
+                                         double truncation_error,
+                                         std::size_t max_keep = 0);
+
+}  // namespace ptsbe

@@ -1,0 +1,160 @@
+#include "ptsbe/linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ptsbe {
+
+namespace {
+
+/// One-sided Jacobi on a tall-or-square matrix b (m×n, m ≥ n), accumulating
+/// the applied column rotations into v (n×n). On return, the columns of b are
+/// mutually orthogonal and b_original = b_final · v†.
+void jacobi_orthogonalize(Matrix& b, Matrix& v, int max_sweeps) {
+  const std::size_t m = b.rows();
+  const std::size_t n = b.cols();
+  constexpr double kEps = 1e-15;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        // 2×2 Gram block of columns (i, j).
+        double alpha = 0.0, beta = 0.0;
+        cplx gamma{0.0, 0.0};
+        for (std::size_t r = 0; r < m; ++r) {
+          const cplx bi = b(r, i);
+          const cplx bj = b(r, j);
+          alpha += std::norm(bi);
+          beta += std::norm(bj);
+          gamma += std::conj(bi) * bj;
+        }
+        const double off = std::abs(gamma);
+        if (off <= kEps * std::sqrt(alpha * beta) || off == 0.0) continue;
+        converged = false;
+
+        // Classic Jacobi rotation, manifestly unitary (avoids the
+        // catastrophic cancellation of forming eigenvectors from λ± − α):
+        //   J = [[c, -s·e^{iθ}], [s·e^{-iθ}, c]],  γ = |γ|e^{iθ},
+        // with t chosen as the root of t² - 2τt - 1 = 0 of smaller
+        // magnitude, τ = (β - α) / (2|γ|).
+        const cplx phase = gamma / off;  // e^{iθ}
+        const double tau = 0.5 * (beta - alpha) / off;
+        double t;
+        if (tau == 0.0) {
+          t = 1.0;
+        } else {
+          t = -std::copysign(1.0, tau) /
+              (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        }
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double sct = c * t;
+        const cplx j00{c, 0.0};
+        const cplx j01 = -sct * phase;
+        const cplx j10n = sct * std::conj(phase);
+        const cplx j11n{c, 0.0};
+
+        // Apply J to the column pair of b and accumulate into v.
+        for (std::size_t r = 0; r < m; ++r) {
+          const cplx bi = b(r, i);
+          const cplx bj = b(r, j);
+          b(r, i) = bi * j00 + bj * j10n;
+          b(r, j) = bi * j01 + bj * j11n;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const cplx vi = v(r, i);
+          const cplx vj = v(r, j);
+          v(r, i) = vi * j00 + vj * j10n;
+          v(r, j) = vi * j01 + vj * j11n;
+        }
+      }
+    }
+    if (converged) return;
+  }
+  // One more tolerance pass: accept if residual off-diagonals are tiny in
+  // absolute terms (can happen for matrices with huge dynamic range).
+  double max_off = 0.0, max_col = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      cplx gamma{0.0, 0.0};
+      double alpha = 0.0, beta = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        alpha += std::norm(b(r, i));
+        beta += std::norm(b(r, j));
+        gamma += std::conj(b(r, i)) * b(r, j);
+      }
+      max_off = std::max(max_off, std::abs(gamma));
+      max_col = std::max({max_col, alpha, beta});
+    }
+  PTSBE_CHECK(max_off <= 1e-9 * std::max(max_col, 1e-300),
+              "Jacobi SVD failed to converge within the sweep limit");
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a, int max_sweeps) {
+  PTSBE_REQUIRE(!a.empty(), "svd() of an empty matrix");
+  const bool transposed = a.rows() < a.cols();
+  Matrix b = transposed ? a.dagger() : a;  // tall: m >= n
+  const std::size_t m = b.rows();
+  const std::size_t n = b.cols();
+  Matrix v = Matrix::identity(n);
+  jacobi_orthogonalize(b, v, max_sweeps);
+
+  // Singular values = column norms; sort descending.
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += std::norm(b(r, j));
+    sigma[j] = std::sqrt(s);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  Matrix u(m, n);
+  Matrix vsorted(n, n);
+  std::vector<double> s_sorted(n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t src = order[jj];
+    s_sorted[jj] = sigma[src];
+    const double inv = sigma[src] > 0.0 ? 1.0 / sigma[src] : 0.0;
+    for (std::size_t r = 0; r < m; ++r) u(r, jj) = b(r, src) * inv;
+    for (std::size_t r = 0; r < n; ++r) vsorted(r, jj) = v(r, src);
+  }
+
+  SvdResult out;
+  out.s = std::move(s_sorted);
+  if (!transposed) {
+    out.u = std::move(u);
+    out.vdag = vsorted.dagger();
+  } else {
+    // a = (b · v†)† = v · b†  ⇒  U_a = v_sorted, V_a† = u†.
+    out.u = std::move(vsorted);
+    out.vdag = u.dagger();
+  }
+  return out;
+}
+
+std::size_t truncated_rank(const std::vector<double>& s, double truncation_error,
+                           std::size_t max_keep) {
+  if (s.empty()) return 0;
+  double total = 0.0;
+  for (double v : s) total += v * v;
+  if (total <= 0.0) return 1;
+  const double budget = truncation_error * total;
+  double discarded = 0.0;
+  std::size_t keep = s.size();
+  while (keep > 1) {
+    const double w = s[keep - 1] * s[keep - 1];
+    if (discarded + w > budget) break;
+    discarded += w;
+    --keep;
+  }
+  if (max_keep != 0) keep = std::min(keep, max_keep);
+  return keep;
+}
+
+}  // namespace ptsbe

@@ -1,0 +1,145 @@
+#include "ptsbe/noise/channels.hpp"
+
+#include <cmath>
+
+#include "ptsbe/circuit/gates.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::channels {
+
+namespace {
+
+Matrix scaled(const Matrix& m, double weight) {
+  Matrix out = m;
+  out *= cplx{std::sqrt(weight), 0.0};
+  return out;
+}
+
+}  // namespace
+
+ChannelPtr depolarizing(double p) {
+  PTSBE_REQUIRE(p >= 0.0 && p <= 1.0, "depolarizing probability out of range");
+  std::vector<Matrix> ops;
+  if (p < 1.0) ops.push_back(scaled(gates::I(), 1.0 - p));
+  if (p > 0.0) {
+    ops.push_back(scaled(gates::X(), p / 3.0));
+    ops.push_back(scaled(gates::Y(), p / 3.0));
+    ops.push_back(scaled(gates::Z(), p / 3.0));
+  }
+  return std::make_shared<KrausChannel>("depolarizing", std::move(ops));
+}
+
+ChannelPtr depolarizing2(double p) {
+  PTSBE_REQUIRE(p >= 0.0 && p <= 1.0, "depolarizing2 probability out of range");
+  std::vector<Matrix> ops;
+  ops.reserve(16);
+  for (unsigned a = 0; a < 4; ++a)
+    for (unsigned b = 0; b < 4; ++b) {
+      const double w = (a == 0 && b == 0) ? 1.0 - p : p / 15.0;
+      if (w > 0.0)
+        ops.push_back(scaled(kron(gates::pauli(b), gates::pauli(a)), w));
+    }
+  return std::make_shared<KrausChannel>("depolarizing2", std::move(ops));
+}
+
+ChannelPtr bit_flip(double p) {
+  PTSBE_REQUIRE(p >= 0.0 && p <= 1.0, "bit_flip probability out of range");
+  std::vector<Matrix> ops;
+  if (p < 1.0) ops.push_back(scaled(gates::I(), 1.0 - p));
+  if (p > 0.0) ops.push_back(scaled(gates::X(), p));
+  return std::make_shared<KrausChannel>("bit_flip", std::move(ops));
+}
+
+ChannelPtr phase_flip(double p) {
+  PTSBE_REQUIRE(p >= 0.0 && p <= 1.0, "phase_flip probability out of range");
+  std::vector<Matrix> ops;
+  if (p < 1.0) ops.push_back(scaled(gates::I(), 1.0 - p));
+  if (p > 0.0) ops.push_back(scaled(gates::Z(), p));
+  return std::make_shared<KrausChannel>("phase_flip", std::move(ops));
+}
+
+ChannelPtr bit_phase_flip(double p) {
+  PTSBE_REQUIRE(p >= 0.0 && p <= 1.0, "bit_phase_flip probability out of range");
+  std::vector<Matrix> ops;
+  if (p < 1.0) ops.push_back(scaled(gates::I(), 1.0 - p));
+  if (p > 0.0) ops.push_back(scaled(gates::Y(), p));
+  return std::make_shared<KrausChannel>("bit_phase_flip", std::move(ops));
+}
+
+ChannelPtr pauli_channel(double px, double py, double pz) {
+  PTSBE_REQUIRE(px >= 0.0 && py >= 0.0 && pz >= 0.0 && px + py + pz <= 1.0,
+                "pauli_channel probabilities out of range");
+  std::vector<Matrix> ops;
+  if (px + py + pz < 1.0)
+    ops.push_back(scaled(gates::I(), 1.0 - px - py - pz));
+  if (px > 0.0) ops.push_back(scaled(gates::X(), px));
+  if (py > 0.0) ops.push_back(scaled(gates::Y(), py));
+  if (pz > 0.0) ops.push_back(scaled(gates::Z(), pz));
+  return std::make_shared<KrausChannel>("pauli_channel", std::move(ops));
+}
+
+ChannelPtr amplitude_damping(double gamma) {
+  PTSBE_REQUIRE(gamma >= 0.0 && gamma <= 1.0,
+                "amplitude_damping gamma out of range");
+  std::vector<Matrix> ops;
+  ops.push_back(Matrix(2, 2, {1, 0, 0, std::sqrt(1.0 - gamma)}));
+  if (gamma > 0.0) ops.push_back(Matrix(2, 2, {0, std::sqrt(gamma), 0, 0}));
+  return std::make_shared<KrausChannel>("amplitude_damping", std::move(ops));
+}
+
+ChannelPtr phase_damping(double lambda) {
+  PTSBE_REQUIRE(lambda >= 0.0 && lambda <= 1.0,
+                "phase_damping lambda out of range");
+  std::vector<Matrix> ops;
+  ops.push_back(Matrix(2, 2, {1, 0, 0, std::sqrt(1.0 - lambda)}));
+  if (lambda > 0.0) ops.push_back(Matrix(2, 2, {0, 0, 0, std::sqrt(lambda)}));
+  return std::make_shared<KrausChannel>("phase_damping", std::move(ops));
+}
+
+ChannelPtr correlated_xx_zz(double p) {
+  PTSBE_REQUIRE(p >= 0.0 && 2.0 * p <= 1.0,
+                "correlated_xx_zz probability out of range");
+  std::vector<Matrix> ops;
+  if (2.0 * p < 1.0) ops.push_back(scaled(Matrix::identity(4), 1.0 - 2.0 * p));
+  if (p > 0.0) {
+    ops.push_back(scaled(kron(gates::X(), gates::X()), p));
+    ops.push_back(scaled(kron(gates::Z(), gates::Z()), p));
+  }
+  return std::make_shared<KrausChannel>("correlated_xx_zz", std::move(ops));
+}
+
+ChannelPtr thermal_relaxation(double t, double t1, double t2) {
+  PTSBE_REQUIRE(t > 0.0 && t1 > 0.0 && t2 > 0.0,
+                "thermal_relaxation times must be positive");
+  PTSBE_REQUIRE(t2 <= 2.0 * t1 + 1e-12,
+                "thermal_relaxation requires T2 <= 2*T1");
+  const double gamma = 1.0 - std::exp(-t / t1);
+  // sqrt(1-gamma)*sqrt(1-lambda) = e^{-t/T2}  ⇒  solve for lambda.
+  const double residual = std::exp(-t / t2) / std::exp(-t / (2.0 * t1));
+  const double lambda = std::max(0.0, 1.0 - residual * residual);
+  // Kraus product of amplitude damping {A0, A1} and phase damping {P0, P1}.
+  std::vector<Matrix> ad;
+  ad.push_back(Matrix(2, 2, {1, 0, 0, std::sqrt(1.0 - gamma)}));
+  if (gamma > 0.0) ad.push_back(Matrix(2, 2, {0, std::sqrt(gamma), 0, 0}));
+  std::vector<Matrix> pd;
+  pd.push_back(Matrix(2, 2, {1, 0, 0, std::sqrt(1.0 - lambda)}));
+  if (lambda > 0.0) pd.push_back(Matrix(2, 2, {0, 0, 0, std::sqrt(lambda)}));
+  std::vector<Matrix> ops;
+  for (const Matrix& a : ad)
+    for (const Matrix& p : pd) {
+      Matrix k = a * p;
+      if (k.frobenius_norm() > 1e-12) ops.push_back(std::move(k));
+    }
+  return std::make_shared<KrausChannel>("thermal_relaxation", std::move(ops));
+}
+
+ChannelPtr coherent_overrotation(double p, double theta) {
+  PTSBE_REQUIRE(p >= 0.0 && p <= 1.0,
+                "coherent_overrotation probability out of range");
+  std::vector<Matrix> ops;
+  if (p < 1.0) ops.push_back(scaled(gates::I(), 1.0 - p));
+  if (p > 0.0) ops.push_back(scaled(gates::RX(theta), p));
+  return std::make_shared<KrausChannel>("coherent_overrotation", std::move(ops));
+}
+
+}  // namespace ptsbe::channels

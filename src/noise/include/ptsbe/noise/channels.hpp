@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file channels.hpp
+/// \brief Factory functions for standard noise channels.
+///
+/// All factories return shared immutable `KrausChannel` handles. Pauli-type
+/// channels are unitary mixtures (state-independent branch probabilities);
+/// the damping channels are genuinely non-unitary and exercise the
+/// state-dependent general-Kraus path of both the baseline trajectory
+/// simulator and PTSBE.
+
+#include "ptsbe/noise/kraus.hpp"
+
+namespace ptsbe::channels {
+
+/// Single-qubit depolarizing channel: with probability p, apply one of
+/// X, Y, Z uniformly. Unitary mixture. Precondition: 0 <= p <= 1.
+ChannelPtr depolarizing(double p);
+
+/// Two-qubit depolarizing channel: with probability p, apply one of the 15
+/// non-identity two-qubit Paulis uniformly. Unitary mixture.
+ChannelPtr depolarizing2(double p);
+
+/// Bit-flip channel: X with probability p. Unitary mixture.
+ChannelPtr bit_flip(double p);
+
+/// Phase-flip channel: Z with probability p. Unitary mixture.
+ChannelPtr phase_flip(double p);
+
+/// Bit-phase-flip channel: Y with probability p. Unitary mixture.
+ChannelPtr bit_phase_flip(double p);
+
+/// General Pauli channel with probabilities (px, py, pz); identity gets the
+/// remainder. Unitary mixture. Precondition: px+py+pz <= 1, all >= 0.
+ChannelPtr pauli_channel(double px, double py, double pz);
+
+/// Amplitude damping with decay probability gamma. *Not* a unitary mixture.
+ChannelPtr amplitude_damping(double gamma);
+
+/// Phase damping with dephasing probability lambda. *Not* a unitary mixture
+/// in this Kraus presentation (K1 is a projector).
+ChannelPtr phase_damping(double lambda);
+
+/// Correlated two-qubit Pauli channel: with probability p apply X⊗X, with
+/// probability p apply Z⊗Z, else identity. Models spatially correlated noise
+/// (the PTS tailoring target in the paper's bullet list). Precondition:
+/// 2p <= 1.
+ChannelPtr correlated_xx_zz(double p);
+
+/// Thermal relaxation over gate time `t` with relaxation time T1 and
+/// dephasing time T2 (T2 ≤ 2·T1): the composition of amplitude damping
+/// γ = 1 − e^{−t/T1} and pure dephasing chosen so the total off-diagonal
+/// decay is e^{−t/T2}. *Not* a unitary mixture — the realistic
+/// general-Kraus workhorse. Preconditions: t, T1, T2 > 0, T2 <= 2*T1.
+ChannelPtr thermal_relaxation(double t, double t1, double t2);
+
+/// Coherent over-rotation channel: with probability p the gate is followed
+/// by an extra RX(theta) (miscalibration burst); identity otherwise. A
+/// unitary mixture whose error branch is NOT a Pauli — inside PTSBE's scope
+/// but outside the Clifford/Pauli-frame fragment.
+ChannelPtr coherent_overrotation(double p, double theta);
+
+}  // namespace ptsbe::channels

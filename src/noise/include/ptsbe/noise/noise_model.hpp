@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file noise_model.hpp
+/// \brief Binding noise channels to circuits; the noisy-program view.
+///
+/// A `NoiseModel` holds rules ("after every `cx`, depolarize both targets…")
+/// and `NoiseModel::apply` expands a coherent `Circuit` into a
+/// `NoisyCircuit`: the coherent skeleton plus an ordered list of *noise
+/// sites*. A noise site is one concrete location where a channel's Kraus
+/// branch must be chosen — precisely the objects the paper's Fig. 2
+/// partitions and Algorithm 2 samples over. A full assignment of one branch
+/// per site is a *trajectory*.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/noise/kraus.hpp"
+
+namespace ptsbe {
+
+/// One concrete noise-injection location in an expanded noisy program.
+struct NoiseSite {
+  /// Dense site index (position in NoisyCircuit::sites()).
+  std::size_t index = 0;
+  /// The channel fires immediately after circuit op `after_op`
+  /// (kBeforeCircuit for state-preparation noise).
+  std::size_t after_op = 0;
+  /// Qubits the channel acts on (size == channel->arity()).
+  std::vector<unsigned> qubits;
+  /// The noise channel at this site.
+  ChannelPtr channel;
+
+  /// Sentinel: the site precedes every circuit operation.
+  static constexpr std::size_t kBeforeCircuit =
+      std::numeric_limits<std::size_t>::max();
+};
+
+/// A coherent circuit together with its expanded noise sites, in program
+/// order. This is the object both the baseline trajectory simulator
+/// (Algorithm 1) and the PTS samplers (Algorithm 2) consume.
+class NoisyCircuit {
+ public:
+  NoisyCircuit(Circuit circuit, std::vector<NoiseSite> sites);
+
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+  [[nodiscard]] const std::vector<NoiseSite>& sites() const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] std::size_t num_sites() const noexcept { return sites_.size(); }
+  [[nodiscard]] unsigned num_qubits() const noexcept {
+    return circuit_.num_qubits();
+  }
+
+  /// Site indices whose channel fires directly after circuit op `op_index`
+  /// (or before the circuit for kBeforeCircuit). Sites are pre-bucketed so
+  /// execution is O(1) per op.
+  [[nodiscard]] const std::vector<std::size_t>& sites_after(
+      std::size_t op_index) const;
+
+  /// Joint *nominal* probability of a full branch assignment
+  /// (one branch index per site). Exact when every channel is a unitary
+  /// mixture. `branches.size()` must equal num_sites().
+  [[nodiscard]] double nominal_trajectory_probability(
+      std::span<const std::size_t> branches) const;
+
+  /// Joint nominal probability of a *sparse* assignment: listed sites take
+  /// the listed branch; every other site takes its channel's default branch
+  /// (identity when one exists, else the most likely branch).
+  [[nodiscard]] double nominal_sparse_probability(
+      std::span<const std::pair<std::size_t, std::size_t>> site_branches) const;
+
+  /// True if every channel in the program is a unitary mixture (so nominal
+  /// probabilities are exact trajectory probabilities).
+  [[nodiscard]] bool all_unitary_mixture() const noexcept {
+    return all_unitary_mixture_;
+  }
+
+ private:
+  Circuit circuit_;
+  std::vector<NoiseSite> sites_;
+  std::vector<std::vector<std::size_t>> sites_after_op_;  // [op_index+1]
+  std::vector<std::size_t> pre_sites_;
+  bool all_unitary_mixture_ = true;
+};
+
+/// Declarative noise-binding rules.
+class NoiseModel {
+ public:
+  /// After every gate named `gate_name`: a 1-qubit channel is attached to
+  /// each target qubit; a 2-qubit channel requires a 2-qubit gate and is
+  /// attached to the target pair.
+  NoiseModel& add_gate_noise(std::string gate_name, ChannelPtr channel);
+
+  /// Same as add_gate_noise but only when the gate's target set equals
+  /// `qubits` exactly (order-insensitive).
+  NoiseModel& add_gate_noise_on(std::string gate_name,
+                                std::vector<unsigned> qubits,
+                                ChannelPtr channel);
+
+  /// After *every* gate (any name): 1-qubit channels attach per target;
+  /// 2-qubit channels attach to 2-qubit gates only.
+  NoiseModel& add_all_gate_noise(ChannelPtr channel);
+
+  /// Before each measurement op, on the measured qubit (readout error model).
+  NoiseModel& add_measurement_noise(ChannelPtr channel);
+
+  /// Before the circuit begins, one site per qubit (state-prep error model).
+  NoiseModel& add_state_prep_noise(ChannelPtr channel);
+
+  /// Expand `circuit` into its noisy program under these rules.
+  [[nodiscard]] NoisyCircuit apply(const Circuit& circuit) const;
+
+  /// True when no rules were added.
+  [[nodiscard]] bool empty() const noexcept;
+
+ private:
+  struct GateRule {
+    std::string gate_name;          // empty = any gate
+    std::vector<unsigned> qubits;   // empty = any targets
+    ChannelPtr channel;
+  };
+  std::vector<GateRule> gate_rules_;
+  std::vector<ChannelPtr> measurement_rules_;
+  std::vector<ChannelPtr> state_prep_rules_;
+};
+
+}  // namespace ptsbe

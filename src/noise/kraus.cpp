@@ -1,0 +1,91 @@
+#include "ptsbe/noise/kraus.hpp"
+
+#include <cmath>
+
+#include "ptsbe/common/bits.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+KrausChannel::KrausChannel(std::string name, std::vector<Matrix> kraus_ops,
+                           double tol)
+    : name_(std::move(name)), kraus_(std::move(kraus_ops)) {
+  PTSBE_REQUIRE(!kraus_.empty(), "channel needs at least one Kraus operator");
+  const std::size_t dim = kraus_.front().rows();
+  PTSBE_REQUIRE(dim >= 2 && (dim & (dim - 1)) == 0,
+                "Kraus operator dimension must be a power of two >= 2");
+  for (const Matrix& k : kraus_)
+    PTSBE_REQUIRE(k.rows() == dim && k.cols() == dim,
+                  "all Kraus operators must share one square dimension");
+  PTSBE_REQUIRE(is_cptp_set(kraus_, tol),
+                "Kraus set is not trace preserving (sum K^dag K != I)");
+  unsigned a = 0;
+  for (std::size_t d = dim; d > 1; d >>= 1) ++a;
+  arity_ = a;
+
+  // Nominal branch probabilities: p_i = tr(K_i^dag K_i) / dim. For scaled
+  // unitaries this equals the exact state-independent probability.
+  nominal_prob_.resize(kraus_.size());
+  unitaries_.resize(kraus_.size());
+  unitary_mixture_ = true;
+  for (std::size_t i = 0; i < kraus_.size(); ++i) {
+    const Matrix gram = kraus_[i].dagger() * kraus_[i];
+    nominal_prob_[i] = gram.trace().real() / static_cast<double>(dim);
+    double p = 0.0;
+    Matrix u;
+    if (as_scaled_unitary(kraus_[i], p, &u, tol)) {
+      unitaries_[i] = std::move(u);
+    } else {
+      unitary_mixture_ = false;
+    }
+  }
+  if (!unitary_mixture_) unitaries_.clear();
+
+  // Locate the identity-like branch: unitary proportional to I (global phase
+  // allowed). Checked on the unitary when available, else on the raw Kraus
+  // operator normalised by its nominal probability.
+  for (std::size_t i = 0; i < kraus_.size(); ++i) {
+    const Matrix* candidate = nullptr;
+    Matrix scratch;
+    if (unitary_mixture_) {
+      candidate = &unitaries_[i];
+    } else if (nominal_prob_[i] > tol) {
+      scratch = kraus_[i];
+      scratch *= cplx{1.0 / std::sqrt(nominal_prob_[i]), 0.0};
+      candidate = &scratch;
+    }
+    if (candidate == nullptr) continue;
+    // Proportional to identity: off-diagonals ~0, diagonals equal.
+    const Matrix& m = *candidate;
+    bool identity_like = true;
+    const cplx d0 = m(0, 0);
+    for (std::size_t r = 0; r < m.rows() && identity_like; ++r)
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        const cplx want = (r == c) ? d0 : cplx{0.0, 0.0};
+        if (std::abs(m(r, c) - want) > 1e-8) {
+          identity_like = false;
+          break;
+        }
+      }
+    if (identity_like && std::abs(std::abs(d0) - 1.0) < 1e-8) {
+      identity_branch_ = static_cast<int>(i);
+      break;
+    }
+  }
+
+  if (identity_branch_ >= 0) {
+    default_branch_ = static_cast<std::size_t>(identity_branch_);
+  } else {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < nominal_prob_.size(); ++i)
+      if (nominal_prob_[i] > nominal_prob_[best]) best = i;
+    default_branch_ = best;
+  }
+}
+
+const Matrix& KrausChannel::unitary(std::size_t i) const {
+  PTSBE_REQUIRE(unitary_mixture_, "unitary() requires a unitary-mixture channel");
+  return unitaries_.at(i);
+}
+
+}  // namespace ptsbe

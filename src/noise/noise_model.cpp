@@ -1,0 +1,151 @@
+#include "ptsbe/noise/noise_model.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+NoisyCircuit::NoisyCircuit(Circuit circuit, std::vector<NoiseSite> sites)
+    : circuit_(std::move(circuit)), sites_(std::move(sites)) {
+  sites_after_op_.resize(circuit_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    NoiseSite& s = sites_[i];
+    s.index = i;
+    PTSBE_REQUIRE(s.channel != nullptr, "noise site without a channel");
+    PTSBE_REQUIRE(s.qubits.size() == s.channel->arity(),
+                  "noise site qubit count must match channel arity");
+    for (unsigned q : s.qubits)
+      PTSBE_REQUIRE(q < circuit_.num_qubits(), "noise site qubit out of range");
+    if (s.after_op == NoiseSite::kBeforeCircuit) {
+      pre_sites_.push_back(i);
+    } else {
+      PTSBE_REQUIRE(s.after_op < circuit_.size(),
+                    "noise site after_op out of range");
+      sites_after_op_[s.after_op].push_back(i);
+    }
+    if (!s.channel->is_unitary_mixture()) all_unitary_mixture_ = false;
+  }
+}
+
+const std::vector<std::size_t>& NoisyCircuit::sites_after(
+    std::size_t op_index) const {
+  if (op_index == NoiseSite::kBeforeCircuit) return pre_sites_;
+  PTSBE_REQUIRE(op_index < sites_after_op_.size(), "op index out of range");
+  return sites_after_op_[op_index];
+}
+
+double NoisyCircuit::nominal_trajectory_probability(
+    std::span<const std::size_t> branches) const {
+  PTSBE_REQUIRE(branches.size() == sites_.size(),
+                "branch assignment must cover every site");
+  double p = 1.0;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const auto& probs = sites_[i].channel->nominal_probabilities();
+    PTSBE_REQUIRE(branches[i] < probs.size(), "branch index out of range");
+    p *= probs[branches[i]];
+  }
+  return p;
+}
+
+double NoisyCircuit::nominal_sparse_probability(
+    std::span<const std::pair<std::size_t, std::size_t>> site_branches) const {
+  std::vector<bool> listed(sites_.size(), false);
+  double p = 1.0;
+  for (const auto& [site, branch] : site_branches) {
+    PTSBE_REQUIRE(site < sites_.size(), "site index out of range");
+    PTSBE_REQUIRE(!listed[site], "duplicate site in sparse assignment");
+    listed[site] = true;
+    const auto& probs = sites_[site].channel->nominal_probabilities();
+    PTSBE_REQUIRE(branch < probs.size(), "branch index out of range");
+    p *= probs[branch];
+  }
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (listed[i]) continue;
+    p *= sites_[i].channel->nominal_probabilities()[sites_[i].channel->default_branch()];
+  }
+  return p;
+}
+
+NoiseModel& NoiseModel::add_gate_noise(std::string gate_name, ChannelPtr channel) {
+  PTSBE_REQUIRE(channel != nullptr, "null channel");
+  gate_rules_.push_back({std::move(gate_name), {}, std::move(channel)});
+  return *this;
+}
+
+NoiseModel& NoiseModel::add_gate_noise_on(std::string gate_name,
+                                          std::vector<unsigned> qubits,
+                                          ChannelPtr channel) {
+  PTSBE_REQUIRE(channel != nullptr, "null channel");
+  PTSBE_REQUIRE(!qubits.empty(), "qubit filter must be non-empty");
+  gate_rules_.push_back({std::move(gate_name), std::move(qubits), std::move(channel)});
+  return *this;
+}
+
+NoiseModel& NoiseModel::add_all_gate_noise(ChannelPtr channel) {
+  PTSBE_REQUIRE(channel != nullptr, "null channel");
+  gate_rules_.push_back({std::string{}, {}, std::move(channel)});
+  return *this;
+}
+
+NoiseModel& NoiseModel::add_measurement_noise(ChannelPtr channel) {
+  PTSBE_REQUIRE(channel != nullptr, "null channel");
+  PTSBE_REQUIRE(channel->arity() == 1, "measurement noise must be single-qubit");
+  measurement_rules_.push_back(std::move(channel));
+  return *this;
+}
+
+NoiseModel& NoiseModel::add_state_prep_noise(ChannelPtr channel) {
+  PTSBE_REQUIRE(channel != nullptr, "null channel");
+  PTSBE_REQUIRE(channel->arity() == 1, "state-prep noise must be single-qubit");
+  state_prep_rules_.push_back(std::move(channel));
+  return *this;
+}
+
+bool NoiseModel::empty() const noexcept {
+  return gate_rules_.empty() && measurement_rules_.empty() &&
+         state_prep_rules_.empty();
+}
+
+NoisyCircuit NoiseModel::apply(const Circuit& circuit) const {
+  std::vector<NoiseSite> sites;
+
+  for (const ChannelPtr& ch : state_prep_rules_)
+    for (unsigned q = 0; q < circuit.num_qubits(); ++q)
+      sites.push_back({0, NoiseSite::kBeforeCircuit, {q}, ch});
+
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (op.kind == OpKind::kMeasure) {
+      // Readout noise fires just before the measurement. Attaching it
+      // "after op i-1" would reorder against other ops, so we attach it
+      // after the measurement op's own slot: samplers read measurement
+      // outcomes from the final state, so pre-measure and post-slot are
+      // equivalent for terminal measurements.
+      for (const ChannelPtr& ch : measurement_rules_)
+        sites.push_back({0, i, {op.qubits.front()}, ch});
+      continue;
+    }
+    for (const GateRule& rule : gate_rules_) {
+      if (!rule.gate_name.empty() && rule.gate_name != op.name) continue;
+      if (!rule.qubits.empty()) {
+        std::set<unsigned> want(rule.qubits.begin(), rule.qubits.end());
+        std::set<unsigned> have(op.qubits.begin(), op.qubits.end());
+        if (want != have) continue;
+      }
+      const unsigned arity = rule.channel->arity();
+      if (arity == 1) {
+        for (unsigned q : op.qubits) sites.push_back({0, i, {q}, rule.channel});
+      } else if (arity == 2 && op.qubits.size() == 2) {
+        sites.push_back({0, i, {op.qubits[0], op.qubits[1]}, rule.channel});
+      }
+      // 2-qubit channels silently skip non-2-qubit gates: a rule like
+      // "correlated noise after every cx" should not fire on 1q gates.
+    }
+  }
+  return NoisyCircuit(circuit, std::move(sites));
+}
+
+}  // namespace ptsbe

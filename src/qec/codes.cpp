@@ -1,0 +1,106 @@
+#include "ptsbe/qec/codes.hpp"
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::qec {
+
+namespace {
+
+PauliString from_support(std::uint64_t support, bool x_type) {
+  PauliString p;
+  if (x_type) p.x = support;
+  else p.z = support;
+  return p;
+}
+
+}  // namespace
+
+CssCode steane() {
+  CssCode code;
+  code.name = "steane";
+  code.n = 7;
+  // Hamming(7,4) rows: qubit q belongs to row k iff bit k of (q+1) is set.
+  for (unsigned k = 0; k < 3; ++k) {
+    std::uint64_t support = 0;
+    for (unsigned q = 0; q < 7; ++q)
+      if (((q + 1) >> k) & 1u) support |= 1ULL << q;
+    code.x_supports.push_back(support);
+    code.z_supports.push_back(support);
+  }
+  for (std::uint64_t s : code.x_supports)
+    code.stabilizers.push_back(from_support(s, true));
+  for (std::uint64_t s : code.z_supports)
+    code.stabilizers.push_back(from_support(s, false));
+  code.logical_x = from_support(0x7F, true);
+  code.logical_z = from_support(0x7F, false);
+  code.validate();
+  return code;
+}
+
+CssCode rotated_surface_code(unsigned d) {
+  PTSBE_REQUIRE(d >= 3 && d % 2 == 1 && d <= 8, "d must be odd, 3..7");
+  CssCode code;
+  code.name = "rotated_surface_" + std::to_string(d);
+  code.n = d * d;
+  const auto qubit = [d](unsigned r, unsigned c) { return r * d + c; };
+
+  // Plaquette grid (d+1)×(d+1); plaquette (i,j) covers grid qubits among
+  // {(i-1,j-1), (i-1,j), (i,j-1), (i,j)}. Bulk plaquettes alternate type by
+  // (i+j) parity (even = X); 2-qubit boundary plaquettes survive only where
+  // their type matches the boundary (X on top/bottom, Z on left/right).
+  for (unsigned i = 0; i <= d; ++i) {
+    for (unsigned j = 0; j <= d; ++j) {
+      std::uint64_t support = 0;
+      unsigned cells = 0;
+      for (int dr = -1; dr <= 0; ++dr)
+        for (int dc = -1; dc <= 0; ++dc) {
+          const int r = static_cast<int>(i) + dr, c = static_cast<int>(j) + dc;
+          if (r < 0 || c < 0 || r >= static_cast<int>(d) ||
+              c >= static_cast<int>(d))
+            continue;
+          support |= 1ULL << qubit(static_cast<unsigned>(r),
+                                   static_cast<unsigned>(c));
+          ++cells;
+        }
+      const bool x_type = ((i + j) % 2) == 0;
+      if (cells == 4) {
+        (x_type ? code.x_supports : code.z_supports).push_back(support);
+      } else if (cells == 2) {
+        const bool top_bottom = (i == 0 || i == d);
+        if (top_bottom && x_type) code.x_supports.push_back(support);
+        if (!top_bottom && !x_type && (j == 0 || j == d))
+          code.z_supports.push_back(support);
+      }
+    }
+  }
+  PTSBE_CHECK(code.x_supports.size() + code.z_supports.size() == code.n - 1,
+              "rotated surface code generator count mismatch");
+  for (std::uint64_t s : code.x_supports)
+    code.stabilizers.push_back(from_support(s, true));
+  for (std::uint64_t s : code.z_supports)
+    code.stabilizers.push_back(from_support(s, false));
+  // Logical Z along row 0 (crosses the X boundaries), logical X along
+  // column 0 (crosses the Z boundaries).
+  std::uint64_t zrow = 0, xcol = 0;
+  for (unsigned c = 0; c < d; ++c) zrow |= 1ULL << qubit(0, c);
+  for (unsigned r = 0; r < d; ++r) xcol |= 1ULL << qubit(r, 0);
+  code.logical_z = from_support(zrow, false);
+  code.logical_x = from_support(xcol, true);
+  code.validate();
+  return code;
+}
+
+StabilizerCode five_qubit_code() {
+  StabilizerCode code;
+  code.name = "five_qubit";
+  code.n = 5;
+  code.stabilizers = {
+      PauliString::parse("XZZXI"), PauliString::parse("IXZZX"),
+      PauliString::parse("XIXZZ"), PauliString::parse("ZXIXZ")};
+  code.logical_x = PauliString::parse("XXXXX");
+  code.logical_z = PauliString::parse("ZZZZZ");
+  code.validate();
+  return code;
+}
+
+}  // namespace ptsbe::qec

@@ -1,0 +1,57 @@
+#include "ptsbe/qec/decoder.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "ptsbe/common/bits.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::qec {
+
+CssLookupDecoder::CssLookupDecoder(const CssCode& code,
+                                   unsigned max_error_weight)
+    : code_(code) {
+  PTSBE_REQUIRE(!code_.z_supports.empty(), "decoder needs Z-type stabilizers");
+  // Enumerate X-error masks by increasing weight so the first entry per
+  // syndrome is minimum weight.
+  table_[0] = 0;
+  std::vector<unsigned> positions;
+  for (unsigned w = 1; w <= max_error_weight; ++w) {
+    positions.clear();
+    std::function<void(unsigned)> visit = [&](unsigned start) {
+      if (positions.size() == w) {
+        std::uint64_t mask = 0;
+        for (unsigned q : positions) mask |= 1ULL << q;
+        const std::uint64_t s = syndrome(mask);
+        table_.emplace(s, mask);  // emplace keeps the first (lightest) entry
+        return;
+      }
+      for (unsigned q = start; q < code_.n; ++q) {
+        positions.push_back(q);
+        visit(q + 1);
+        positions.pop_back();
+      }
+    };
+    visit(0);
+  }
+}
+
+std::uint64_t CssLookupDecoder::syndrome(std::uint64_t outcome) const {
+  std::uint64_t s = 0;
+  for (std::size_t j = 0; j < code_.z_supports.size(); ++j)
+    s |= static_cast<std::uint64_t>(parity64(outcome & code_.z_supports[j]))
+         << j;
+  return s;
+}
+
+std::uint64_t CssLookupDecoder::correction(std::uint64_t syndrome_bits) const {
+  const auto it = table_.find(syndrome_bits);
+  return it == table_.end() ? 0 : it->second;
+}
+
+unsigned CssLookupDecoder::logical_z_value(std::uint64_t outcome) const {
+  const std::uint64_t corrected = outcome ^ correction(syndrome(outcome));
+  return parity64(corrected & code_.logical_z.z);
+}
+
+}  // namespace ptsbe::qec

@@ -1,0 +1,158 @@
+#include "ptsbe/qec/distillation.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/common/rng.hpp"
+#include "ptsbe/qec/stabilizer_code.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+
+namespace ptsbe::qec {
+
+MagicAxis magic_axis() {
+  const double inv = 1.0 / std::sqrt(3.0);
+  return {inv, inv, inv};
+}
+
+void append_t_state_prep(Circuit& c, unsigned q) {
+  // |T⟩ = cos(θ/2)|0⟩ + e^{iπ/4} sin(θ/2)|1⟩ with cosθ = 1/√3 puts the
+  // Bloch vector on (1,1,1)/√3.
+  const double theta = std::acos(1.0 / std::sqrt(3.0));
+  c.ry(q, theta);
+  c.p(q, M_PI / 4.0);
+}
+
+double magic_fidelity(double bx, double by, double bz) {
+  const double proj =
+      (std::abs(bx) + std::abs(by) + std::abs(bz)) / std::sqrt(3.0);
+  return 0.5 * (1.0 + proj);
+}
+
+Circuit bare_msd_circuit_unmeasured() {
+  Circuit c(5);
+  for (unsigned q = 0; q < 5; ++q) append_t_state_prep(c, q);
+  c.append(synthesize_decoder(five_qubit_code()));
+  return c;
+}
+
+Circuit bare_msd_circuit() {
+  Circuit c = bare_msd_circuit_unmeasured();
+  c.measure_all();
+  return c;
+}
+
+Circuit compile_transversal(const Circuit& logical, const CssCode& code) {
+  const unsigned n = code.n;
+  Circuit phys(logical.num_qubits() * n);
+  const auto block = [n](unsigned b, unsigned i) { return b * n + i; };
+  for (const Operation& op : logical.ops()) {
+    if (op.kind == OpKind::kMeasure) {
+      for (unsigned i = 0; i < n; ++i)
+        phys.measure(block(op.qubits[0], i));
+      continue;
+    }
+    const std::string& g = op.name;
+    const unsigned a = op.qubits[0];
+    const unsigned b = op.qubits.size() > 1 ? op.qubits[1] : a;
+    if (g == "h") {
+      for (unsigned i = 0; i < n; ++i) phys.h(block(a, i));
+    } else if (g == "s") {
+      // Steane (doubly-even self-dual CSS): S̄ = (S†)⊗n.
+      for (unsigned i = 0; i < n; ++i) phys.sdg(block(a, i));
+    } else if (g == "sdg") {
+      for (unsigned i = 0; i < n; ++i) phys.s(block(a, i));
+    } else if (g == "x") {
+      for (unsigned i = 0; i < n; ++i) phys.x(block(a, i));
+    } else if (g == "y") {
+      for (unsigned i = 0; i < n; ++i) phys.y(block(a, i));
+    } else if (g == "z") {
+      for (unsigned i = 0; i < n; ++i) phys.z(block(a, i));
+    } else if (g == "cx") {
+      for (unsigned i = 0; i < n; ++i) phys.cx(block(a, i), block(b, i));
+    } else if (g == "cz") {
+      for (unsigned i = 0; i < n; ++i) phys.cz(block(a, i), block(b, i));
+    } else if (g == "swap") {
+      for (unsigned i = 0; i < n; ++i) phys.swap(block(a, i), block(b, i));
+    } else {
+      PTSBE_REQUIRE(false, "gate '" + g + "' has no transversal rule");
+    }
+  }
+  return phys;
+}
+
+Circuit encoded_t_state_circuit(const CssCode& code) {
+  Circuit c(code.n);
+  append_t_state_prep(c, code.n - 1);  // encoder input qubit
+  c.append(synthesize_encoder(code));
+  return c;
+}
+
+Circuit msd_preparation_circuit(const CssCode& code) {
+  const Circuit block = encoded_t_state_circuit(code);
+  Circuit c(5 * code.n);
+  for (unsigned b = 0; b < 5; ++b) {
+    std::vector<unsigned> map(code.n);
+    for (unsigned i = 0; i < code.n; ++i) map[i] = b * code.n + i;
+    c.append(block, map);
+  }
+  return c;
+}
+
+Circuit encoded_msd_circuit(const CssCode& code) {
+  Circuit c = msd_preparation_circuit(code);
+  Circuit decoder = synthesize_decoder(five_qubit_code());
+  c.append(compile_transversal(decoder, code));
+  c.measure_all();
+  return c;
+}
+
+MsdAnalysis analyze_bare_msd(double input_error, std::size_t num_trajectories,
+                             std::uint64_t seed) {
+  PTSBE_REQUIRE(input_error >= 0.0 && input_error <= 1.0,
+                "input error out of range");
+  const Circuit decoder = synthesize_decoder(five_qubit_code());
+  RngStream rng(seed);
+
+  double acc_prob = 0.0;
+  double bloch[3] = {0.0, 0.0, 0.0};
+  for (std::size_t t = 0; t < num_trajectories; ++t) {
+    StateVector sv(5);
+    Circuit prep(5);
+    for (unsigned q = 0; q < 5; ++q) append_t_state_prep(prep, q);
+    sv.apply_circuit(prep);
+    // Trajectory-sample depolarizing noise on each input.
+    for (unsigned q = 0; q < 5; ++q) {
+      const double r = rng.uniform();
+      if (r < input_error) {
+        const unsigned pauli = 1 + static_cast<unsigned>(rng.uniform_index(3));
+        sv.apply_gate(gates::pauli(pauli), std::array{q});
+      }
+    }
+    sv.apply_circuit(decoder);
+    // Acceptance: syndrome qubits 0..3 all zero.
+    const cplx a0 = sv.amplitude(0);         // |0⟩ on qubit 4, syndrome 0
+    const cplx a1 = sv.amplitude(1ULL << 4); // |1⟩ on qubit 4, syndrome 0
+    const double p = std::norm(a0) + std::norm(a1);
+    acc_prob += p;
+    if (p > 1e-15) {
+      bloch[0] += 2.0 * (std::conj(a0) * a1).real();
+      bloch[1] += 2.0 * (std::conj(a0) * a1).imag();
+      bloch[2] += std::norm(a0) - std::norm(a1);
+    }
+  }
+  MsdAnalysis out;
+  out.acceptance_probability = acc_prob / static_cast<double>(num_trajectories);
+  if (acc_prob > 0.0)
+    out.output_fidelity =
+        magic_fidelity(bloch[0] / acc_prob, bloch[1] / acc_prob,
+                       bloch[2] / acc_prob);
+  // One depolarized input: Bloch shrinks by (1 - 4p/3).
+  const double shrink = 1.0 - 4.0 * input_error / 3.0;
+  const MagicAxis ax = magic_axis();
+  out.input_fidelity =
+      magic_fidelity(shrink * ax.x, shrink * ax.y, shrink * ax.z);
+  return out;
+}
+
+}  // namespace ptsbe::qec

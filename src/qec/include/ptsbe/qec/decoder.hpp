@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file decoder.hpp
+/// \brief Lookup-table decoder for CSS codes read out in the Z basis.
+///
+/// A transversal Z-basis readout of a CSS code block yields one bit per
+/// physical qubit. X errors before readout flip bits; the parities of the
+/// Z-type stabilizer supports form the syndrome, and a minimum-weight lookup
+/// table maps each syndrome to its correction. This is the classical decoding
+/// step the MSD post-selection and the AI-decoder training labels (the
+/// paper's target application) both revolve around.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ptsbe/qec/codes.hpp"
+
+namespace ptsbe::qec {
+
+/// Minimum-weight lookup decoder over Z-basis readouts of one CSS block.
+class CssLookupDecoder {
+ public:
+  /// Build the syndrome → correction table by enumerating X-error patterns
+  /// of weight ≤ `max_error_weight` (defaults to ⌊(d−1)/2⌋ behaviour when
+  /// given the code's correctable weight).
+  explicit CssLookupDecoder(const CssCode& code, unsigned max_error_weight = 1);
+
+  /// Syndrome bits of a readout: bit j = parity(outcome & z_support_j).
+  [[nodiscard]] std::uint64_t syndrome(std::uint64_t outcome) const;
+
+  /// Minimum-weight X-error mask for `syndrome` (0 when the syndrome is not
+  /// in the table — the decoder then corrects nothing).
+  [[nodiscard]] std::uint64_t correction(std::uint64_t syndrome_bits) const;
+
+  /// Decoded logical Z value of a readout: parity over the logical Z support
+  /// after applying the correction.
+  [[nodiscard]] unsigned logical_z_value(std::uint64_t outcome) const;
+
+  /// True when the readout's syndrome is trivial (no detected error).
+  [[nodiscard]] bool syndrome_is_trivial(std::uint64_t outcome) const {
+    return syndrome(outcome) == 0;
+  }
+
+ private:
+  CssCode code_;
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+};
+
+}  // namespace ptsbe::qec

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file distillation.hpp
+/// \brief The 5→1 magic state distillation workload (the paper's Fig. 3).
+///
+/// The Bravyi–Kitaev protocol consumes five noisy T-type magic states,
+/// applies the [[5,1,3]] code's decoder, and post-selects on the trivial
+/// syndrome; the surviving fifth qubit carries a higher-fidelity magic
+/// state. The QuEra experiment the paper simulates runs this protocol on
+/// *logical* qubits: each of the five wires is a colour-code block and every
+/// decoder gate becomes a transversal physical layer. Both levels are
+/// generated here:
+///
+///  - `bare_msd_circuit()`            — 5 physical qubits;
+///  - `encoded_msd_circuit(code)`     — 5 × code.n physical qubits;
+///  - `msd_preparation_circuit(code)` — just the five encoded magic states
+///    (the 85-qubit tensor-network workload of the paper's Fig. 5).
+
+#include <cstdint>
+
+#include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/qec/codes.hpp"
+
+namespace ptsbe::qec {
+
+/// Bloch vector of the T-type magic state: (1,1,1)/√3.
+struct MagicAxis {
+  double x, y, z;
+};
+[[nodiscard]] MagicAxis magic_axis();
+
+/// Gates preparing |T⟩ (Bloch (1,1,1)/√3) from |0⟩ on qubit `q` of `c`.
+void append_t_state_prep(Circuit& c, unsigned q);
+
+/// Fidelity of a qubit with Bloch vector (bx,by,bz) against the *nearest*
+/// of the eight T-type axes (±1,±1,±1)/√3 — the Clifford-frame-free "magic
+/// fidelity" the MSD output is scored with (Fig. 3 measures the top wire in
+/// all three Pauli bases to compute exactly this).
+[[nodiscard]] double magic_fidelity(double bx, double by, double bz);
+
+/// The bare 5-qubit distillation circuit: five T-state preparations, the
+/// synthesized [[5,1,3]] decoder, and measurement of all five qubits.
+/// Acceptance: bits 0..3 (the syndrome qubits) all zero; the distilled state
+/// sits on qubit 4 *before* its measurement collapses it — fidelity analysis
+/// uses the pre-measurement state or 3-basis measurement circuits.
+[[nodiscard]] Circuit bare_msd_circuit();
+
+/// Same circuit without the final measurements (for state-level analysis).
+[[nodiscard]] Circuit bare_msd_circuit_unmeasured();
+
+/// Acceptance predicate on a bare-MSD measurement record.
+[[nodiscard]] inline bool bare_msd_accept(std::uint64_t record) {
+  return (record & 0xF) == 0;
+}
+
+/// Per-gate transversal realisation of logical Cliffords on a self-dual
+/// doubly-even CSS code (Steane): H̄ = H⊗n, S̄ = (S†)⊗n, CX̄/CZ̄/SWAP̄ =
+/// pairwise transversal, Pauli bars = transversal Paulis. Compiles a logical
+/// circuit on k wires into a physical circuit on k blocks of `code.n`
+/// qubits; block b's physical qubits are [b·n, (b+1)·n).
+/// \throws precondition_error for gates without a transversal rule.
+[[nodiscard]] Circuit compile_transversal(const Circuit& logical,
+                                          const CssCode& code);
+
+/// Preparation of one encoded magic state |T_L⟩ on `code.n` qubits: physical
+/// T-prep on the encoder's input qubit followed by the synthesized encoder.
+[[nodiscard]] Circuit encoded_t_state_circuit(const CssCode& code);
+
+/// The paper's Fig. 5 workload: five encoded magic states side by side
+/// (5·code.n qubits), no distillation gates, no measurements.
+[[nodiscard]] Circuit msd_preparation_circuit(const CssCode& code);
+
+/// The full encoded distillation: five |T_L⟩ blocks, the transversally
+/// compiled [[5,1,3]] decoder, and a transversal Z-basis readout of every
+/// physical qubit. 5·code.n qubits (35 for Steane — the paper's Fig. 4
+/// statevector workload).
+[[nodiscard]] Circuit encoded_msd_circuit(const CssCode& code);
+
+/// Exact single-trajectory distillation analysis on the statevector:
+/// applies `input_error`-strength depolarizing noise to each T input (via
+/// trajectory sampling), runs the decoder, and accumulates the acceptance
+/// probability and accepted-output magic fidelity exactly from amplitudes.
+struct MsdAnalysis {
+  double acceptance_probability = 0.0;
+  double output_fidelity = 0.0;  ///< Accepted-output magic fidelity.
+  double input_fidelity = 0.0;   ///< Magic fidelity of one noisy input.
+};
+[[nodiscard]] MsdAnalysis analyze_bare_msd(double input_error,
+                                           std::size_t num_trajectories,
+                                           std::uint64_t seed);
+
+}  // namespace ptsbe::qec

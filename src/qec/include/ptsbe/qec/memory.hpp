@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file memory.hpp
+/// \brief Ancilla-based syndrome extraction and QEC memory experiments.
+///
+/// The paper's §2.3 frames noisy QEC simulation around stabilizer
+/// measurements: parity checks read out through ancillas, whose outcomes a
+/// decoder consumes. This module generates circuit-level memory experiments
+/// for CSS codes: encode |0_L⟩, run `rounds` of full syndrome extraction
+/// (one fresh ancilla per stabilizer per round — no mid-circuit reset
+/// needed, keeping the circuits inside every backend's terminal-measurement
+/// model), then read out the data block transversally.
+///
+/// The circuits are Clifford, so they run on all four backends — including
+/// the Pauli-frame bulk sampler — making them the cross-validation workload
+/// where the Stim-like baseline and PTSBE can be compared head to head.
+
+#include <cstdint>
+#include <vector>
+
+#include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/qec/codes.hpp"
+#include "ptsbe/qec/decoder.hpp"
+
+namespace ptsbe::qec {
+
+/// Layout bookkeeping for a generated memory experiment.
+struct MemoryExperiment {
+  Circuit circuit;    ///< Encode + rounds of extraction + data readout.
+  CssCode code;       ///< The protected block (data qubits 0..n-1).
+  unsigned rounds = 0;
+  unsigned ancillas_per_round = 0;  ///< = #X stabs + #Z stabs.
+
+  /// Record-bit index of ancilla `a` in round `r` (measurement order:
+  /// round-major ancillas, then the n data bits).
+  [[nodiscard]] unsigned ancilla_bit(unsigned round, unsigned a) const {
+    return round * ancillas_per_round + a;
+  }
+  /// Record-bit index of data qubit `q`.
+  [[nodiscard]] unsigned data_bit(unsigned q) const {
+    return rounds * ancillas_per_round + q;
+  }
+  /// Extract the final data readout from a measurement record.
+  [[nodiscard]] std::uint64_t data_bits(std::uint64_t record) const {
+    return (record >> (rounds * ancillas_per_round)) &
+           ((1ULL << code.n) - 1);
+  }
+};
+
+/// Build the memory experiment: |0_L⟩ preparation via the synthesized
+/// encoder, `rounds` rounds of syndrome extraction (X-type checks via
+/// H-ancilla/CX-to-data/H, Z-type checks via CX-from-data), ancilla
+/// measurement each round, and a final transversal data measurement.
+[[nodiscard]] MemoryExperiment make_memory_experiment(const CssCode& code,
+                                                      unsigned rounds);
+
+/// Decode one shot of the experiment: lookup-correct the final data readout
+/// and return the logical Z value (0 = success for a |0_L⟩ memory).
+[[nodiscard]] unsigned decode_memory_shot(const MemoryExperiment& experiment,
+                                          const CssLookupDecoder& decoder,
+                                          std::uint64_t record);
+
+/// Logical error rate over a batch of records.
+[[nodiscard]] double memory_logical_error_rate(
+    const MemoryExperiment& experiment, const CssLookupDecoder& decoder,
+    const std::vector<std::uint64_t>& records);
+
+}  // namespace ptsbe::qec

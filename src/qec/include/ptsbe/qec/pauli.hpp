@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file pauli.hpp
+/// \brief Signed Pauli strings over up to 64 qubits.
+///
+/// Bit-packed (x, z) representation with a sign bit (only ±1 arise in this
+/// library's usage: stabilizer generators and their images under the Clifford
+/// gates {H, S, CX, X, Z} stay in the real Pauli group up to tracked signs).
+/// The Y convention is Y = iXZ; weight and commutation are sign-independent.
+
+#include <cstdint>
+#include <string>
+
+namespace ptsbe::qec {
+
+/// A Pauli operator ±P_1⊗…⊗P_n, n ≤ 64, with qubit 0 = character 0.
+struct PauliString {
+  std::uint64_t x = 0;  ///< X-component bits.
+  std::uint64_t z = 0;  ///< Z-component bits.
+  bool negative = false;
+
+  /// Parse "XZZXI" or "-XIY" (leading '+' optional).
+  static PauliString parse(const std::string& text);
+
+  /// Number of qubits with non-identity action.
+  [[nodiscard]] unsigned weight() const noexcept;
+
+  /// True when this commutes with `other` (symplectic product even).
+  [[nodiscard]] bool commutes_with(const PauliString& other) const noexcept;
+
+  /// Group product (this · other), with sign tracked via the standard
+  /// Y = iXZ bookkeeping; the product of two Hermitian Paulis that commute
+  /// is Hermitian (sign ±1); anticommuting products pick up ±i, which this
+  /// library never needs — such calls are a precondition violation.
+  [[nodiscard]] PauliString multiply(const PauliString& other) const;
+
+  /// "±XZIY…" over `n` qubits.
+  [[nodiscard]] std::string to_string(unsigned n) const;
+
+  /// Identity check (sign ignored).
+  [[nodiscard]] bool is_identity() const noexcept { return x == 0 && z == 0; }
+
+  friend bool operator==(const PauliString&, const PauliString&) = default;
+
+  // --- In-place Clifford conjugation P ← G P G† --------------------------
+  void conj_h(unsigned q);
+  void conj_s(unsigned q);
+  void conj_sdg(unsigned q);
+  void conj_cx(unsigned control, unsigned target);
+  void conj_cz(unsigned a, unsigned b);
+  void conj_swap(unsigned a, unsigned b);
+  void conj_x(unsigned q);
+  void conj_z(unsigned q);
+};
+
+}  // namespace ptsbe::qec

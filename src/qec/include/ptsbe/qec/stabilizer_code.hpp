@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file stabilizer_code.hpp
+/// \brief Stabilizer codes and encoder-circuit synthesis.
+///
+/// A `StabilizerCode` holds n−k commuting stabilizer generators plus logical
+/// X̄/Z̄ pairs (this library supports k = 1, which covers every code the MSD
+/// workload uses). `synthesize_encoder` turns the algebraic description into
+/// an explicit {H, S, S†, CX, CZ, SWAP, X, Z} circuit U with
+///
+///   U Z_i U† = S_i  (i < n−1),   U Z_{n−1} U† = Z̄·(stab),
+///   U X_{n−1} U†   = X̄·(stab),
+///
+/// so applying U to |ψ⟩ placed on qubit n−1 (others |0⟩) yields the encoded
+/// |ψ_L⟩ exactly. The synthesis reduces the target Pauli set to the trivial
+/// one by Gaussian elimination over the symplectic group, recording gates,
+/// then emits the inverse. Works for CSS and non-CSS codes alike — in
+/// particular the [[5,1,3]] code whose decoder is the heart of the 5→1 magic
+/// state distillation circuit.
+
+#include <string>
+#include <vector>
+
+#include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/qec/pauli.hpp"
+
+namespace ptsbe::qec {
+
+/// An [[n, 1, d]] stabilizer code.
+struct StabilizerCode {
+  std::string name;
+  unsigned n = 0;                       ///< Physical qubits (≤ 64).
+  std::vector<PauliString> stabilizers; ///< n−1 independent generators.
+  PauliString logical_x;
+  PauliString logical_z;
+
+  /// Validate: generator count, pairwise commutation, logical algebra
+  /// (X̄/Z̄ anticommute, both commute with every stabilizer).
+  /// \throws precondition_error describing the first violation.
+  void validate() const;
+
+  /// Code distance by exhaustive search over the normaliser: the minimum
+  /// weight of a Pauli that commutes with every stabilizer but acts
+  /// nontrivially on the logical qubit. Exponential in n — intended for
+  /// n ≤ ~20 (runs over 4^w candidates by increasing weight w).
+  [[nodiscard]] unsigned distance(unsigned max_weight = 6) const;
+};
+
+/// Synthesize the encoder circuit described above. The returned circuit acts
+/// on `code.n` qubits with the logical input on qubit n−1.
+[[nodiscard]] Circuit synthesize_encoder(const StabilizerCode& code);
+
+/// The inverse (decoder) of `synthesize_encoder(code)`: maps the codespace
+/// to syndrome qubits 0..n−2 (all |0⟩ for the trivial syndrome) and the
+/// logical state onto qubit n−1.
+[[nodiscard]] Circuit synthesize_decoder(const StabilizerCode& code);
+
+/// Invert a circuit made of {h, s, sdg, cx, cz, swap, x, y, z} gates.
+[[nodiscard]] Circuit invert_clifford_circuit(const Circuit& circuit);
+
+}  // namespace ptsbe::qec

@@ -1,0 +1,126 @@
+#include "ptsbe/qec/pauli.hpp"
+
+#include <bit>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::qec {
+
+namespace {
+int pc(std::uint64_t v) { return std::popcount(v); }
+}  // namespace
+
+PauliString PauliString::parse(const std::string& text) {
+  PauliString p;
+  std::size_t start = 0;
+  if (!text.empty() && (text[0] == '+' || text[0] == '-')) {
+    p.negative = text[0] == '-';
+    start = 1;
+  }
+  PTSBE_REQUIRE(text.size() - start >= 1 && text.size() - start <= 64,
+                "Pauli string must have 1..64 characters");
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const unsigned q = static_cast<unsigned>(i - start);
+    switch (text[i]) {
+      case 'I': break;
+      case 'X': p.x |= 1ULL << q; break;
+      case 'Y': p.x |= 1ULL << q; p.z |= 1ULL << q; break;
+      case 'Z': p.z |= 1ULL << q; break;
+      default: PTSBE_REQUIRE(false, "Pauli characters must be one of IXYZ");
+    }
+  }
+  return p;
+}
+
+unsigned PauliString::weight() const noexcept {
+  return static_cast<unsigned>(pc(x | z));
+}
+
+bool PauliString::commutes_with(const PauliString& other) const noexcept {
+  return ((pc(x & other.z) + pc(z & other.x)) & 1) == 0;
+}
+
+PauliString PauliString::multiply(const PauliString& other) const {
+  PauliString out;
+  out.x = x ^ other.x;
+  out.z = z ^ other.z;
+  // Phase: i^{|x1z1| + |x2z2| - |x3z3| + 2|z1·x2|} — 0 or 2 (mod 4) when the
+  // operands commute.
+  const int e =
+      ((pc(x & z) + pc(other.x & other.z) - pc(out.x & out.z) +
+        2 * pc(z & other.x)) %
+           4 +
+       4) %
+      4;
+  PTSBE_REQUIRE(e == 0 || e == 2,
+                "product of anticommuting Paulis is non-Hermitian");
+  out.negative = negative ^ other.negative ^ (e == 2);
+  return out;
+}
+
+std::string PauliString::to_string(unsigned n) const {
+  std::string s;
+  s += negative ? '-' : '+';
+  for (unsigned q = 0; q < n; ++q) {
+    const bool bx = (x >> q) & 1, bz = (z >> q) & 1;
+    s += bx ? (bz ? 'Y' : 'X') : (bz ? 'Z' : 'I');
+  }
+  return s;
+}
+
+void PauliString::conj_h(unsigned q) {
+  const std::uint64_t m = 1ULL << q;
+  const bool bx = x & m, bz = z & m;
+  if (bx && bz) negative = !negative;  // Y → -Y
+  if (bx != bz) {
+    x ^= m;
+    z ^= m;
+  }
+}
+
+void PauliString::conj_s(unsigned q) {
+  const std::uint64_t m = 1ULL << q;
+  if (x & m) {
+    if (z & m) negative = !negative;  // Y → -X
+    z ^= m;                           // X → Y
+  }
+}
+
+void PauliString::conj_sdg(unsigned q) {
+  const std::uint64_t m = 1ULL << q;
+  if (x & m) {
+    if (!(z & m)) negative = !negative;  // X → -Y
+    z ^= m;                              // Y → X
+  }
+}
+
+void PauliString::conj_cx(unsigned control, unsigned target) {
+  const std::uint64_t mc = 1ULL << control, mt = 1ULL << target;
+  const bool xc = x & mc, zc = z & mc, xt = x & mt, zt = z & mt;
+  if (xc && zt && (xt == zc)) negative = !negative;
+  if (xc) x ^= mt;
+  if (zt) z ^= mc;
+}
+
+void PauliString::conj_cz(unsigned a, unsigned b) {
+  conj_h(b);
+  conj_cx(a, b);
+  conj_h(b);
+}
+
+void PauliString::conj_swap(unsigned a, unsigned b) {
+  const std::uint64_t ma = 1ULL << a, mb = 1ULL << b;
+  const bool xa = x & ma, xb = x & mb, za = z & ma, zb = z & mb;
+  if (xa != xb) x ^= ma | mb;
+  if (za != zb) z ^= ma | mb;
+}
+
+void PauliString::conj_x(unsigned q) {
+  if (z & (1ULL << q)) negative = !negative;
+}
+
+void PauliString::conj_z(unsigned q) {
+  if (x & (1ULL << q)) negative = !negative;
+}
+
+}  // namespace ptsbe::qec

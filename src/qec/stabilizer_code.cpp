@@ -1,0 +1,245 @@
+#include "ptsbe/qec/stabilizer_code.hpp"
+
+#include <functional>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::qec {
+
+void StabilizerCode::validate() const {
+  PTSBE_REQUIRE(n >= 2 && n <= 64, "code size out of range");
+  PTSBE_REQUIRE(stabilizers.size() == n - 1,
+                "an [[n,1,d]] code needs exactly n-1 stabilizer generators");
+  for (std::size_t i = 0; i < stabilizers.size(); ++i) {
+    PTSBE_REQUIRE(!stabilizers[i].is_identity(), "identity stabilizer");
+    for (std::size_t j = i + 1; j < stabilizers.size(); ++j)
+      PTSBE_REQUIRE(stabilizers[i].commutes_with(stabilizers[j]),
+                    "stabilizers " + std::to_string(i) + " and " +
+                        std::to_string(j) + " do not commute");
+  }
+  PTSBE_REQUIRE(!logical_x.commutes_with(logical_z),
+                "logical X and Z must anticommute");
+  for (std::size_t i = 0; i < stabilizers.size(); ++i) {
+    PTSBE_REQUIRE(logical_x.commutes_with(stabilizers[i]),
+                  "logical X must commute with stabilizer " + std::to_string(i));
+    PTSBE_REQUIRE(logical_z.commutes_with(stabilizers[i]),
+                  "logical Z must commute with stabilizer " + std::to_string(i));
+  }
+}
+
+unsigned StabilizerCode::distance(unsigned max_weight) const {
+  // Enumerate Paulis by increasing weight; the first one in N(S) \ S acting
+  // nontrivially on the logical qubit sets the distance. Membership in S
+  // itself is excluded by the "acts nontrivially" test (anticommutes with a
+  // logical operator).
+  for (unsigned w = 1; w <= max_weight; ++w) {
+    bool found = false;
+    std::vector<unsigned> positions;
+    std::function<bool(unsigned)> visit = [&](unsigned start) -> bool {
+      if (positions.size() == w) {
+        // Try all 3^w Pauli letterings on the chosen support.
+        std::vector<unsigned> letters(w, 1);
+        while (true) {
+          PauliString p;
+          for (unsigned i = 0; i < w; ++i) {
+            const std::uint64_t m = 1ULL << positions[i];
+            if (letters[i] & 1) p.x |= m;           // X or Y
+            if (letters[i] >= 2) p.z |= m;          // Y(3)? map 1=X,2=Z,3=Y
+          }
+          bool in_normaliser = true;
+          for (const PauliString& s : stabilizers)
+            if (!p.commutes_with(s)) {
+              in_normaliser = false;
+              break;
+            }
+          if (in_normaliser &&
+              (!p.commutes_with(logical_x) || !p.commutes_with(logical_z)))
+            return true;
+          // Next lettering in {1,2,3}^w.
+          unsigned i = 0;
+          for (; i < w; ++i) {
+            if (letters[i] < 3) {
+              ++letters[i];
+              break;
+            }
+            letters[i] = 1;
+          }
+          if (i == w) return false;
+        }
+      }
+      for (unsigned q = start; q < n; ++q) {
+        positions.push_back(q);
+        if (visit(q + 1)) return true;
+        positions.pop_back();
+      }
+      return false;
+    };
+    found = visit(0);
+    if (found) return w;
+  }
+  return 0;  // distance exceeds max_weight
+}
+
+namespace {
+
+/// Reduction context: applies gates to every tracked row and records them.
+struct Reducer {
+  std::vector<PauliString> rows;
+  Circuit recorded;
+
+  explicit Reducer(unsigned n) : recorded(n) {}
+
+  void h(unsigned q) {
+    for (auto& r : rows) r.conj_h(q);
+    recorded.h(q);
+  }
+  void sdg(unsigned q) {
+    for (auto& r : rows) r.conj_sdg(q);
+    recorded.sdg(q);
+  }
+  void s(unsigned q) {
+    for (auto& r : rows) r.conj_s(q);
+    recorded.s(q);
+  }
+  void cx(unsigned a, unsigned b) {
+    for (auto& r : rows) r.conj_cx(a, b);
+    recorded.cx(a, b);
+  }
+  void cz(unsigned a, unsigned b) {
+    for (auto& r : rows) r.conj_cz(a, b);
+    recorded.cz(a, b);
+  }
+  void swap(unsigned a, unsigned b) {
+    for (auto& r : rows) r.conj_swap(a, b);
+    recorded.swap(a, b);
+  }
+  void x(unsigned q) {
+    for (auto& r : rows) r.conj_x(q);
+    recorded.x(q);
+  }
+  void z(unsigned q) {
+    for (auto& r : rows) r.conj_z(q);
+    recorded.z(q);
+  }
+};
+
+/// Reduce the code's target Pauli set to {Z_0..Z_{n-2}, X_{n-1}, Z_{n-1}},
+/// returning the recorded gate sequence (as applied, in order).
+Circuit reduce_to_trivial(const StabilizerCode& code) {
+  code.validate();
+  const unsigned n = code.n;
+  Reducer red(n);
+  red.rows = code.stabilizers;
+  red.rows.push_back(code.logical_x);  // row n-1
+  red.rows.push_back(code.logical_z);  // row n
+
+  // --- Phase 1: stabilizer i → +Z_i -------------------------------------
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    // Clear residual Z support on already-fixed columns by multiplying with
+    // the fixed rows (a change of generating set, not a gate).
+    for (unsigned j = 0; j < i; ++j)
+      if ((red.rows[i].z >> j) & 1ULL)
+        red.rows[i] = red.rows[i].multiply(red.rows[j]);
+    PTSBE_CHECK((red.rows[i].x & ((1ULL << i) - 1)) == 0,
+                "fixed-column X support should be impossible");
+
+    const std::uint64_t tail = ~((1ULL << i) - 1);
+    if ((red.rows[i].x & tail) == 0) {
+      PTSBE_CHECK((red.rows[i].z & tail) != 0,
+                  "stabilizer generators are not independent");
+      unsigned q = i;
+      while (!((red.rows[i].z >> q) & 1ULL)) ++q;
+      red.h(q);
+    }
+    unsigned pivot = i;
+    while (!((red.rows[i].x >> pivot) & 1ULL)) ++pivot;
+    if (pivot != i) red.swap(i, pivot);
+    for (unsigned q = i + 1; q < n; ++q)
+      if ((red.rows[i].x >> q) & 1ULL) red.cx(i, q);
+    for (unsigned q = i + 1; q < n; ++q)
+      if ((red.rows[i].z >> q) & 1ULL) red.cz(i, q);
+    if ((red.rows[i].z >> i) & 1ULL) red.sdg(i);  // Y_i → X_i
+    red.h(i);                                     // X_i → Z_i
+    if (red.rows[i].negative) red.x(i);
+    PTSBE_CHECK(red.rows[i].x == 0 && red.rows[i].z == (1ULL << i) &&
+                    !red.rows[i].negative,
+                "stabilizer row failed to reduce");
+  }
+
+  // --- Phase 2: logical pair → (X_{n-1}, Z_{n-1}) ------------------------
+  const unsigned t = n - 1;
+  for (unsigned r : {n - 1, n}) {
+    for (unsigned j = 0; j + 1 < n; ++j)
+      if ((red.rows[r].z >> j) & 1ULL)
+        red.rows[r] = red.rows[r].multiply(red.rows[j]);
+    PTSBE_CHECK((red.rows[r].x & ~(1ULL << t)) == 0 &&
+                    (red.rows[r].z & ~(1ULL << t)) == 0,
+                "logical row not confined to the input qubit");
+  }
+  // Single-qubit Clifford word in {h, sdg} mapping the pair's types to
+  // (X, Z); at most 3 letters are needed (the group mod Paulis is S_3).
+  const auto type_of = [&](unsigned r) {
+    const bool bx = (red.rows[r].x >> t) & 1ULL, bz = (red.rows[r].z >> t) & 1ULL;
+    return (bx ? 1 : 0) | (bz ? 2 : 0);  // 1=X, 2=Z, 3=Y
+  };
+  for (int step = 0; step < 8 && !(type_of(n - 1) == 1 && type_of(n) == 2);
+       ++step) {
+    if (type_of(n - 1) != 1) {
+      // Rotate X̄'s type: h swaps X↔Z, sdg swaps X↔Y.
+      if (type_of(n - 1) == 2) red.h(t);
+      else red.sdg(t);
+    } else {
+      // X̄ is X and Z̄ is Y (anticommutation forbids Z̄ = X). The word
+      // h·sdg·h acts as a √X conjugation: X→X, Y→∓Z, fixing the pair's
+      // types in one step (signs are corrected below).
+      red.h(t);
+      red.sdg(t);
+      red.h(t);
+    }
+  }
+  PTSBE_CHECK(type_of(n - 1) == 1 && type_of(n) == 2,
+              "logical pair failed to reduce to (X, Z)");
+  if (red.rows[n - 1].negative) red.z(t);  // flips X sign only
+  if (red.rows[n].negative) red.x(t);      // flips Z sign only
+  PTSBE_CHECK(!red.rows[n - 1].negative && !red.rows[n].negative,
+              "logical signs failed to fix");
+  return red.recorded;
+}
+
+}  // namespace
+
+Circuit invert_clifford_circuit(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits());
+  const auto& ops = circuit.ops();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    PTSBE_REQUIRE(it->kind == OpKind::kGate, "cannot invert measurements");
+    const std::string& g = it->name;
+    if (g == "h") out.h(it->qubits[0]);
+    else if (g == "s") out.sdg(it->qubits[0]);
+    else if (g == "sdg") out.s(it->qubits[0]);
+    else if (g == "sx") out.sxdg(it->qubits[0]);
+    else if (g == "sxdg") out.sx(it->qubits[0]);
+    else if (g == "sy") out.sydg(it->qubits[0]);
+    else if (g == "sydg") out.sy(it->qubits[0]);
+    else if (g == "x") out.x(it->qubits[0]);
+    else if (g == "y") out.y(it->qubits[0]);
+    else if (g == "z") out.z(it->qubits[0]);
+    else if (g == "cx") out.cx(it->qubits[0], it->qubits[1]);
+    else if (g == "cz") out.cz(it->qubits[0], it->qubits[1]);
+    else if (g == "swap") out.swap(it->qubits[0], it->qubits[1]);
+    else PTSBE_REQUIRE(false, "cannot invert gate '" + g + "'");
+  }
+  return out;
+}
+
+Circuit synthesize_encoder(const StabilizerCode& code) {
+  // reduce_to_trivial records R with R·S_i·R† = Z_i; the encoder is R†,
+  // which as a circuit is the recorded list reversed with inverted gates.
+  return invert_clifford_circuit(reduce_to_trivial(code));
+}
+
+Circuit synthesize_decoder(const StabilizerCode& code) {
+  return reduce_to_trivial(code);
+}
+
+}  // namespace ptsbe::qec

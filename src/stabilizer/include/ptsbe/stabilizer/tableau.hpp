@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file tableau.hpp
+/// \brief CHP-style stabilizer tableau simulator.
+///
+/// The Clifford-only baseline the paper positions PTSBE against (§2.3): for
+/// circuits restricted to Clifford gates and Pauli noise, stabilizer methods
+/// (Stim et al.) bulk-sample at MHz rates but cannot represent the
+/// non-Clifford magic states the MSD workload consumes. We implement the
+/// Aaronson–Gottesman tableau with bit-packed rows, plus the Pauli-frame
+/// bulk sampler in pauli_frame.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptsbe/common/rng.hpp"
+
+namespace ptsbe {
+
+/// Aaronson–Gottesman stabilizer tableau over n qubits.
+///
+/// Rows 0..n-1 are destabilizers, rows n..2n-1 stabilizers; each row is a
+/// Pauli with bit-packed X/Z parts and a sign bit. Supports the standard
+/// Clifford generators plus composite gates used by the QEC circuits.
+class CliffordTableau {
+ public:
+  /// Identity tableau on `num_qubits` qubits (state |0…0⟩).
+  explicit CliffordTableau(unsigned num_qubits);
+
+  [[nodiscard]] unsigned num_qubits() const noexcept { return n_; }
+
+  // --- Clifford generators ---------------------------------------------
+  void h(unsigned q);
+  void s(unsigned q);
+  void sdg(unsigned q);
+  void x(unsigned q);
+  void y(unsigned q);
+  void z(unsigned q);
+  void sx(unsigned q);    ///< √X = H·S·H
+  void sxdg(unsigned q);
+  void sy(unsigned q);    ///< √Y = S·√X·S†
+  void sydg(unsigned q);
+  void cx(unsigned control, unsigned target);
+  void cz(unsigned a, unsigned b);
+  void swap_qubits(unsigned a, unsigned b);
+
+  /// Apply a named Clifford gate ("h", "s", "cx"…). Throws
+  /// precondition_error for non-Clifford names — callers route universal
+  /// circuits to the statevector/MPS backends instead.
+  void apply_named(const std::string& name, const std::vector<unsigned>& qubits);
+
+  /// True if `name` is a gate this tableau can apply.
+  [[nodiscard]] static bool is_clifford_name(const std::string& name);
+
+  /// Measure qubit `q` in the Z basis. Returns the outcome; random outcomes
+  /// consume one draw from `rng`. `deterministic` (optional) reports whether
+  /// the outcome was forced by the stabilizer group.
+  unsigned measure(unsigned q, RngStream& rng, bool* deterministic = nullptr);
+
+  /// Whether a Z measurement of `q` would be deterministic right now.
+  [[nodiscard]] bool measurement_is_deterministic(unsigned q) const;
+
+  /// Sign and Pauli string of stabilizer row `i` (0..n-1), e.g. "+XZI".
+  [[nodiscard]] std::string stabilizer_row(unsigned i) const;
+
+ private:
+  [[nodiscard]] bool get_x(unsigned row, unsigned q) const {
+    return (xs_[row][q >> 6] >> (q & 63)) & 1ULL;
+  }
+  [[nodiscard]] bool get_z(unsigned row, unsigned q) const {
+    return (zs_[row][q >> 6] >> (q & 63)) & 1ULL;
+  }
+  void toggle_x(unsigned row, unsigned q) { xs_[row][q >> 6] ^= 1ULL << (q & 63); }
+  void toggle_z(unsigned row, unsigned q) { zs_[row][q >> 6] ^= 1ULL << (q & 63); }
+
+  /// row_h ← row_h · row_i with correct phase bookkeeping (CHP "rowsum").
+  void rowsum(unsigned h_row, unsigned i_row);
+
+  unsigned n_;
+  unsigned words_;
+  std::vector<std::vector<std::uint64_t>> xs_, zs_;  // [2n+1 rows][words]
+  std::vector<std::uint8_t> r_;                      // sign bits
+};
+
+}  // namespace ptsbe

@@ -1,0 +1,271 @@
+#include "ptsbe/stabilizer/pauli_frame.hpp"
+
+#include <cmath>
+
+#include "ptsbe/circuit/gates.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+namespace {
+
+/// If `u` equals a Pauli tensor up to global phase, return true and fill
+/// per-qubit (x, z) toggles (qubit 0 = LSB of the matrix).
+bool pauli_toggles(const Matrix& u, unsigned arity,
+                   std::vector<std::pair<bool, bool>>& out) {
+  const auto matches = [&](const Matrix& p) {
+    // u ∝ p with unit-modulus factor: compare u against phase*p where the
+    // phase is fixed by the first nonzero element of p.
+    for (std::size_t r = 0; r < p.rows(); ++r)
+      for (std::size_t c = 0; c < p.cols(); ++c) {
+        if (std::abs(p(r, c)) < 1e-12) continue;
+        const cplx phase = u(r, c) / p(r, c);
+        if (std::abs(std::abs(phase) - 1.0) > 1e-9) return false;
+        Matrix scaled = p;
+        scaled *= phase;
+        return approx_equal(u, scaled, 1e-9);
+      }
+    return false;
+  };
+  const auto xz_of = [](unsigned pauli_idx) -> std::pair<bool, bool> {
+    switch (pauli_idx) {
+      case 0: return {false, false};  // I
+      case 1: return {true, false};   // X
+      case 2: return {true, true};    // Y
+      default: return {false, true};  // Z
+    }
+  };
+  if (arity == 1) {
+    for (unsigned i = 0; i < 4; ++i)
+      if (matches(gates::pauli(i))) {
+        out = {xz_of(i)};
+        return true;
+      }
+    return false;
+  }
+  if (arity == 2) {
+    for (unsigned hi = 0; hi < 4; ++hi)
+      for (unsigned lo = 0; lo < 4; ++lo)
+        if (matches(kron(gates::pauli(hi), gates::pauli(lo)))) {
+          out = {xz_of(lo), xz_of(hi)};
+          return true;
+        }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PauliFrameSampler::is_supported(const NoisyCircuit& noisy) {
+  for (const Operation& op : noisy.circuit().ops()) {
+    if (op.kind == OpKind::kMeasure) continue;
+    if (!CliffordTableau::is_clifford_name(op.name)) return false;
+  }
+  for (const NoiseSite& site : noisy.sites()) {
+    if (!site.channel->is_unitary_mixture()) return false;
+    std::vector<std::pair<bool, bool>> toggles;
+    for (std::size_t b = 0; b < site.channel->num_branches(); ++b)
+      if (!pauli_toggles(site.channel->unitary(b), site.channel->arity(),
+                         toggles))
+        return false;
+  }
+  return true;
+}
+
+PauliFrameSampler::PauliFrameSampler(const NoisyCircuit& noisy,
+                                     RngStream reference_rng)
+    : n_(noisy.num_qubits()) {
+  PTSBE_REQUIRE(is_supported(noisy),
+                "program is outside the Clifford + Pauli-noise fragment");
+
+  // Pre-resolve every site into cumulative probabilities + toggle tables.
+  site_tables_.resize(noisy.num_sites());
+  for (const NoiseSite& site : noisy.sites()) {
+    SiteTable& t = site_tables_[site.index];
+    t.qubits = site.qubits;
+    const auto& probs = site.channel->nominal_probabilities();
+    double acc = 0.0;
+    for (std::size_t b = 0; b < probs.size(); ++b) {
+      acc += probs[b];
+      t.cumulative.push_back(acc);
+      std::vector<std::pair<bool, bool>> toggles;
+      PTSBE_CHECK(pauli_toggles(site.channel->unitary(b), site.channel->arity(),
+                                toggles),
+                  "non-Pauli branch slipped through is_supported");
+      t.toggles.push_back(std::move(toggles));
+    }
+    const int id = site.channel->identity_branch();
+    t.identity_branch = id >= 0 ? static_cast<std::size_t>(id) : SIZE_MAX;
+    t.identity_probability =
+        id >= 0 ? probs[static_cast<std::size_t>(id)] : 0.0;
+  }
+
+  // Reference tableau run + program compilation.
+  CliffordTableau ref(n_);
+  const auto emit_noise = [&](const std::vector<std::size_t>& ids) {
+    for (std::size_t id : ids) {
+      Step st;
+      st.kind = Step::Kind::kNoise;
+      st.site = id;
+      program_.push_back(st);
+    }
+  };
+  emit_noise(noisy.sites_after(NoiseSite::kBeforeCircuit));
+  const auto& ops = noisy.circuit().ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (op.kind == OpKind::kMeasure) {
+      // Readout-noise sites attached to this measurement fire first.
+      emit_noise(noisy.sites_after(i));
+      const unsigned q = op.qubits.front();
+      Step st;
+      st.kind = Step::Kind::kMeasure;
+      st.a = q;
+      st.record_pos = static_cast<unsigned>(measured_.size());
+      program_.push_back(st);
+      measured_.push_back(q);
+      reference_.push_back(
+          static_cast<std::uint8_t>(ref.measure(q, reference_rng)));
+      continue;
+    }
+    Step st;
+    st.kind = Step::Kind::kGate;
+    st.a = op.qubits[0];
+    st.b = op.qubits.size() > 1 ? op.qubits[1] : op.qubits[0];
+    if (op.name == "h" || op.name == "sy" || op.name == "sydg")
+      st.xform = Step::Xform::kSwapXZ;
+    else if (op.name == "s" || op.name == "sdg")
+      st.xform = Step::Xform::kZxorX;
+    else if (op.name == "sx" || op.name == "sxdg")
+      st.xform = Step::Xform::kXxorZ;
+    else if (op.name == "cx")
+      st.xform = Step::Xform::kCx;
+    else if (op.name == "cz")
+      st.xform = Step::Xform::kCz;
+    else if (op.name == "swap")
+      st.xform = Step::Xform::kSwap;
+    else
+      st.xform = Step::Xform::kNone;  // Paulis and identity
+    ref.apply_named(op.name, op.qubits);
+    program_.push_back(st);
+    emit_noise(noisy.sites_after(i));
+  }
+
+  if (measured_.empty()) {
+    // Convention: no explicit measure ops → measure every qubit in order.
+    for (unsigned q = 0; q < n_; ++q) {
+      Step st;
+      st.kind = Step::Kind::kMeasure;
+      st.a = q;
+      st.record_pos = q;
+      program_.push_back(st);
+      measured_.push_back(q);
+      reference_.push_back(
+          static_cast<std::uint8_t>(ref.measure(q, reference_rng)));
+    }
+  }
+  PTSBE_REQUIRE(measured_.size() <= 64,
+                "frame sampler packs records into 64-bit words");
+}
+
+std::vector<std::uint64_t> PauliFrameSampler::sample(std::size_t shots,
+                                                     RngStream& rng) const {
+  std::vector<std::uint64_t> records(shots, 0);
+  if (shots == 0) return records;
+  const std::size_t words = (shots + 63) / 64;
+  // Frames: per qubit, bit-packed across shots. The Z part starts uniformly
+  // random: Z stabilises |0…0⟩, so a random initial Z frame is a gauge
+  // choice — and it is what randomises non-deterministic measurement
+  // outcomes across shots (the same trick Stim's frame sampler uses).
+  std::vector<std::uint64_t> fx(static_cast<std::size_t>(n_) * words, 0);
+  std::vector<std::uint64_t> fz(static_cast<std::size_t>(n_) * words);
+  for (auto& w : fz) w = rng.bits64();
+  const auto xw = [&](unsigned q) { return fx.data() + std::size_t{q} * words; };
+  const auto zw = [&](unsigned q) { return fz.data() + std::size_t{q} * words; };
+
+  for (const Step& st : program_) {
+    switch (st.kind) {
+      case Step::Kind::kGate: {
+        std::uint64_t* xa = xw(st.a);
+        std::uint64_t* za = zw(st.a);
+        switch (st.xform) {
+          case Step::Xform::kNone: break;
+          case Step::Xform::kSwapXZ:
+            for (std::size_t w = 0; w < words; ++w) std::swap(xa[w], za[w]);
+            break;
+          case Step::Xform::kZxorX:
+            for (std::size_t w = 0; w < words; ++w) za[w] ^= xa[w];
+            break;
+          case Step::Xform::kXxorZ:
+            for (std::size_t w = 0; w < words; ++w) xa[w] ^= za[w];
+            break;
+          case Step::Xform::kCx: {
+            std::uint64_t* xb = xw(st.b);
+            std::uint64_t* zb = zw(st.b);
+            for (std::size_t w = 0; w < words; ++w) {
+              xb[w] ^= xa[w];
+              za[w] ^= zb[w];
+            }
+            break;
+          }
+          case Step::Xform::kCz: {
+            std::uint64_t* xb = xw(st.b);
+            std::uint64_t* zb = zw(st.b);
+            for (std::size_t w = 0; w < words; ++w) {
+              za[w] ^= xb[w];
+              zb[w] ^= xa[w];
+            }
+            break;
+          }
+          case Step::Xform::kSwap: {
+            std::uint64_t* xb = xw(st.b);
+            std::uint64_t* zb = zw(st.b);
+            for (std::size_t w = 0; w < words; ++w) {
+              std::swap(xa[w], xb[w]);
+              std::swap(za[w], zb[w]);
+            }
+            break;
+          }
+        }
+        break;
+      }
+      case Step::Kind::kNoise: {
+        const SiteTable& t = site_tables_[st.site];
+        for (std::size_t s = 0; s < shots; ++s) {
+          const double r = rng.uniform();
+          // Linear walk of the cumulative table (branch counts are small).
+          std::size_t branch = t.cumulative.size() - 1;
+          for (std::size_t b = 0; b < t.cumulative.size(); ++b)
+            if (r < t.cumulative[b]) {
+              branch = b;
+              break;
+            }
+          if (branch == t.identity_branch) continue;
+          const std::uint64_t bit = 1ULL << (s & 63);
+          const std::size_t w = s >> 6;
+          for (std::size_t k = 0; k < t.qubits.size(); ++k) {
+            const auto [tx, tz] = t.toggles[branch][k];
+            if (tx) xw(t.qubits[k])[w] ^= bit;
+            if (tz) zw(t.qubits[k])[w] ^= bit;
+          }
+        }
+        break;
+      }
+      case Step::Kind::kMeasure: {
+        const std::uint64_t* xa = xw(st.a);
+        const std::uint8_t ref = reference_[st.record_pos];
+        for (std::size_t s = 0; s < shots; ++s) {
+          const unsigned flip =
+              static_cast<unsigned>((xa[s >> 6] >> (s & 63)) & 1ULL);
+          const unsigned outcome = static_cast<unsigned>(ref) ^ flip;
+          records[s] |= static_cast<std::uint64_t>(outcome) << st.record_pos;
+        }
+        break;
+      }
+    }
+  }
+  return records;
+}
+
+}  // namespace ptsbe

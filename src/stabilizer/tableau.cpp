@@ -1,0 +1,195 @@
+#include "ptsbe/stabilizer/tableau.hpp"
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+CliffordTableau::CliffordTableau(unsigned num_qubits)
+    : n_(num_qubits), words_((num_qubits + 63) / 64) {
+  PTSBE_REQUIRE(num_qubits >= 1, "tableau needs at least one qubit");
+  const unsigned rows = 2 * n_ + 1;  // +1 scratch row for deterministic measure
+  xs_.assign(rows, std::vector<std::uint64_t>(words_, 0));
+  zs_.assign(rows, std::vector<std::uint64_t>(words_, 0));
+  r_.assign(rows, 0);
+  for (unsigned i = 0; i < n_; ++i) {
+    toggle_x(i, i);        // destabilizer i = X_i
+    toggle_z(i + n_, i);   // stabilizer i   = Z_i
+  }
+}
+
+void CliffordTableau::h(unsigned q) {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  for (unsigned i = 0; i < 2 * n_; ++i) {
+    const bool x = get_x(i, q), z = get_z(i, q);
+    r_[i] ^= static_cast<std::uint8_t>(x && z);
+    if (x != z) {
+      toggle_x(i, q);
+      toggle_z(i, q);
+    }
+  }
+}
+
+void CliffordTableau::s(unsigned q) {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  for (unsigned i = 0; i < 2 * n_; ++i) {
+    const bool x = get_x(i, q), z = get_z(i, q);
+    r_[i] ^= static_cast<std::uint8_t>(x && z);
+    if (x) toggle_z(i, q);
+  }
+}
+
+void CliffordTableau::sdg(unsigned q) { s(q); s(q); s(q); }
+
+void CliffordTableau::x(unsigned q) {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  for (unsigned i = 0; i < 2 * n_; ++i)
+    r_[i] ^= static_cast<std::uint8_t>(get_z(i, q));
+}
+
+void CliffordTableau::z(unsigned q) {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  for (unsigned i = 0; i < 2 * n_; ++i)
+    r_[i] ^= static_cast<std::uint8_t>(get_x(i, q));
+}
+
+void CliffordTableau::y(unsigned q) {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  for (unsigned i = 0; i < 2 * n_; ++i)
+    r_[i] ^= static_cast<std::uint8_t>(get_x(i, q) != get_z(i, q));
+}
+
+void CliffordTableau::sx(unsigned q) { h(q); s(q); h(q); }
+void CliffordTableau::sxdg(unsigned q) { h(q); sdg(q); h(q); }
+void CliffordTableau::sy(unsigned q) { sdg(q); sx(q); s(q); }
+void CliffordTableau::sydg(unsigned q) { sdg(q); sxdg(q); s(q); }
+
+void CliffordTableau::cx(unsigned control, unsigned target) {
+  PTSBE_REQUIRE(control < n_ && target < n_ && control != target,
+                "invalid cx targets");
+  for (unsigned i = 0; i < 2 * n_; ++i) {
+    const bool xc = get_x(i, control), zc = get_z(i, control);
+    const bool xt = get_x(i, target), zt = get_z(i, target);
+    r_[i] ^= static_cast<std::uint8_t>(xc && zt && (xt == zc));
+    if (xc) toggle_x(i, target);
+    if (zt) toggle_z(i, control);
+  }
+}
+
+void CliffordTableau::cz(unsigned a, unsigned b) {
+  h(b);
+  cx(a, b);
+  h(b);
+}
+
+void CliffordTableau::swap_qubits(unsigned a, unsigned b) {
+  cx(a, b);
+  cx(b, a);
+  cx(a, b);
+}
+
+bool CliffordTableau::is_clifford_name(const std::string& name) {
+  return name == "h" || name == "s" || name == "sdg" || name == "x" ||
+         name == "y" || name == "z" || name == "sx" || name == "sxdg" ||
+         name == "sy" || name == "sydg" || name == "cx" || name == "cz" ||
+         name == "swap" || name == "i";
+}
+
+void CliffordTableau::apply_named(const std::string& name,
+                                  const std::vector<unsigned>& qubits) {
+  if (name == "h") h(qubits.at(0));
+  else if (name == "s") s(qubits.at(0));
+  else if (name == "sdg") sdg(qubits.at(0));
+  else if (name == "x") x(qubits.at(0));
+  else if (name == "y") y(qubits.at(0));
+  else if (name == "z") z(qubits.at(0));
+  else if (name == "sx") sx(qubits.at(0));
+  else if (name == "sxdg") sxdg(qubits.at(0));
+  else if (name == "sy") sy(qubits.at(0));
+  else if (name == "sydg") sydg(qubits.at(0));
+  else if (name == "cx") cx(qubits.at(0), qubits.at(1));
+  else if (name == "cz") cz(qubits.at(0), qubits.at(1));
+  else if (name == "swap") swap_qubits(qubits.at(0), qubits.at(1));
+  else if (name == "i") { /* no-op */ }
+  else
+    PTSBE_REQUIRE(false, "gate '" + name + "' is not Clifford");
+}
+
+void CliffordTableau::rowsum(unsigned h_row, unsigned i_row) {
+  // Phase exponent of i when multiplying Pauli terms (CHP's g function),
+  // accumulated mod 4.
+  int g_sum = 0;
+  for (unsigned q = 0; q < n_; ++q) {
+    const int x1 = get_x(i_row, q), z1 = get_z(i_row, q);
+    const int x2 = get_x(h_row, q), z2 = get_z(h_row, q);
+    int g = 0;
+    if (x1 == 0 && z1 == 0) g = 0;
+    else if (x1 == 1 && z1 == 1) g = z2 - x2;
+    else if (x1 == 1 && z1 == 0) g = z2 * (2 * x2 - 1);
+    else g = x2 * (1 - 2 * z2);
+    g_sum += g;
+  }
+  const int phase = (2 * r_[h_row] + 2 * r_[i_row] + g_sum) & 3;
+  PTSBE_ASSERT(phase == 0 || phase == 2);
+  r_[h_row] = static_cast<std::uint8_t>(phase == 2);
+  for (unsigned w = 0; w < words_; ++w) {
+    xs_[h_row][w] ^= xs_[i_row][w];
+    zs_[h_row][w] ^= zs_[i_row][w];
+  }
+}
+
+bool CliffordTableau::measurement_is_deterministic(unsigned q) const {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  for (unsigned p = n_; p < 2 * n_; ++p)
+    if (get_x(p, q)) return false;
+  return true;
+}
+
+unsigned CliffordTableau::measure(unsigned q, RngStream& rng,
+                                  bool* deterministic) {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  unsigned p = 2 * n_;
+  for (unsigned row = n_; row < 2 * n_; ++row)
+    if (get_x(row, q)) {
+      p = row;
+      break;
+    }
+  if (p < 2 * n_) {
+    // Random outcome.
+    if (deterministic != nullptr) *deterministic = false;
+    for (unsigned i = 0; i < 2 * n_; ++i)
+      if (i != p && get_x(i, q)) rowsum(i, p);
+    // Destabilizer p-n becomes old stabilizer p.
+    xs_[p - n_] = xs_[p];
+    zs_[p - n_] = zs_[p];
+    r_[p - n_] = r_[p];
+    std::fill(xs_[p].begin(), xs_[p].end(), 0);
+    std::fill(zs_[p].begin(), zs_[p].end(), 0);
+    toggle_z(p, q);
+    const unsigned outcome = static_cast<unsigned>(rng.bits64() & 1ULL);
+    r_[p] = static_cast<std::uint8_t>(outcome);
+    return outcome;
+  }
+  // Deterministic outcome via the scratch row.
+  if (deterministic != nullptr) *deterministic = true;
+  const unsigned scratch = 2 * n_;
+  std::fill(xs_[scratch].begin(), xs_[scratch].end(), 0);
+  std::fill(zs_[scratch].begin(), zs_[scratch].end(), 0);
+  r_[scratch] = 0;
+  for (unsigned i = 0; i < n_; ++i)
+    if (get_x(i, q)) rowsum(scratch, i + n_);
+  return r_[scratch];
+}
+
+std::string CliffordTableau::stabilizer_row(unsigned i) const {
+  PTSBE_REQUIRE(i < n_, "stabilizer row out of range");
+  const unsigned row = i + n_;
+  std::string out;
+  out += r_[row] ? '-' : '+';
+  for (unsigned q = 0; q < n_; ++q) {
+    const bool x = get_x(row, q), z = get_z(row, q);
+    out += x ? (z ? 'Y' : 'X') : (z ? 'Z' : 'I');
+  }
+  return out;
+}
+
+}  // namespace ptsbe

@@ -1,0 +1,273 @@
+#include "ptsbe/statevector/statevector.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "ptsbe/common/bits.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+namespace {
+// Below this state size the OpenMP fork/join overhead dominates.
+constexpr std::uint64_t kParallelThreshold = 1ULL << 14;
+}  // namespace
+
+StateVector::StateVector(unsigned num_qubits) : n_(num_qubits) {
+  PTSBE_REQUIRE(num_qubits >= 1 && num_qubits <= 30,
+                "statevector supports 1..30 qubits (memory gate)");
+  amp_.assign(pow2(n_), cplx{0.0, 0.0});
+  amp_[0] = cplx{1.0, 0.0};
+}
+
+void StateVector::reset() {
+  std::fill(amp_.begin(), amp_.end(), cplx{0.0, 0.0});
+  amp_[0] = cplx{1.0, 0.0};
+}
+
+void StateVector::set_amplitudes(std::vector<cplx> amplitudes) {
+  PTSBE_REQUIRE(amplitudes.size() == amp_.size(),
+                "amplitude vector size must be 2^n");
+  amp_ = std::move(amplitudes);
+}
+
+void StateVector::apply_gate(const Matrix& matrix,
+                             std::span<const unsigned> qubits) {
+  PTSBE_REQUIRE(!qubits.empty() && qubits.size() <= n_,
+                "gate arity out of range");
+  const std::size_t dim = std::size_t{1} << qubits.size();
+  PTSBE_REQUIRE(matrix.rows() == dim && matrix.cols() == dim,
+                "gate matrix dimension mismatch");
+  for (unsigned q : qubits) PTSBE_REQUIRE(q < n_, "gate qubit out of range");
+  if (qubits.size() == 1) {
+    apply_matrix1(matrix, qubits[0]);
+  } else if (qubits.size() == 2) {
+    apply_matrix2(matrix, qubits[0], qubits[1]);
+  } else {
+    apply_matrix_k(matrix, qubits);
+  }
+}
+
+void StateVector::apply_circuit(const Circuit& circuit) {
+  PTSBE_REQUIRE(circuit.num_qubits() <= n_,
+                "circuit wider than the statevector");
+  for (const Operation& op : circuit.ops()) {
+    if (op.kind != OpKind::kGate) continue;
+    apply_gate(op.matrix, op.qubits);
+  }
+}
+
+void StateVector::apply_matrix1(const Matrix& m, unsigned q) {
+  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const std::int64_t groups = static_cast<std::int64_t>(amp_.size() >> 1);
+  cplx* const a = amp_.data();
+#pragma omp parallel for schedule(static) if (amp_.size() >= kParallelThreshold)
+  for (std::int64_t i = 0; i < groups; ++i) {
+    const std::uint64_t i0 = insert_zero_bit(static_cast<std::uint64_t>(i), q);
+    const std::uint64_t i1 = i0 | (1ULL << q);
+    const cplx v0 = a[i0];
+    const cplx v1 = a[i1];
+    a[i0] = m00 * v0 + m01 * v1;
+    a[i1] = m10 * v0 + m11 * v1;
+  }
+}
+
+void StateVector::apply_matrix2(const Matrix& m, unsigned q0, unsigned q1) {
+  const unsigned lo = std::min(q0, q1);
+  const unsigned hi = std::max(q0, q1);
+  const std::int64_t groups = static_cast<std::int64_t>(amp_.size() >> 2);
+  cplx* const a = amp_.data();
+  // Copy the 4x4 into a flat array for register-friendly access.
+  cplx mm[16];
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) mm[r * 4 + c] = m(r, c);
+#pragma omp parallel for schedule(static) if (amp_.size() >= kParallelThreshold)
+  for (std::int64_t i = 0; i < groups; ++i) {
+    const std::uint64_t base =
+        insert_two_zero_bits(static_cast<std::uint64_t>(i), lo, hi);
+    std::uint64_t idx[4];
+    for (unsigned b = 0; b < 4; ++b)
+      idx[b] = base | (static_cast<std::uint64_t>(b & 1u) << q0) |
+               (static_cast<std::uint64_t>((b >> 1) & 1u) << q1);
+    const cplx v0 = a[idx[0]], v1 = a[idx[1]], v2 = a[idx[2]], v3 = a[idx[3]];
+    for (unsigned r = 0; r < 4; ++r)
+      a[idx[r]] = mm[r * 4 + 0] * v0 + mm[r * 4 + 1] * v1 + mm[r * 4 + 2] * v2 +
+                  mm[r * 4 + 3] * v3;
+  }
+}
+
+void StateVector::apply_matrix_k(const Matrix& m,
+                                 std::span<const unsigned> qubits) {
+  const unsigned k = static_cast<unsigned>(qubits.size());
+  const std::size_t dim = std::size_t{1} << k;
+  std::vector<unsigned> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::int64_t groups = static_cast<std::int64_t>(amp_.size() >> k);
+  cplx* const a = amp_.data();
+#pragma omp parallel if (amp_.size() >= kParallelThreshold)
+  {
+    std::vector<cplx> in(dim), out(dim);
+    std::vector<std::uint64_t> idx(dim);
+#pragma omp for schedule(static)
+    for (std::int64_t g = 0; g < groups; ++g) {
+      std::uint64_t base = static_cast<std::uint64_t>(g);
+      for (unsigned b = 0; b < k; ++b) base = insert_zero_bit(base, sorted[b]);
+      for (std::size_t local = 0; local < dim; ++local) {
+        std::uint64_t full = base;
+        for (unsigned b = 0; b < k; ++b)
+          if ((local >> b) & 1u) full |= 1ULL << qubits[b];
+        idx[local] = full;
+        in[local] = a[full];
+      }
+      for (std::size_t r = 0; r < dim; ++r) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
+        out[r] = acc;
+      }
+      for (std::size_t local = 0; local < dim; ++local) a[idx[local]] = out[local];
+    }
+  }
+}
+
+double StateVector::branch_probability(const Matrix& k,
+                                       std::span<const unsigned> qubits) const {
+  const unsigned arity = static_cast<unsigned>(qubits.size());
+  const std::size_t dim = std::size_t{1} << arity;
+  PTSBE_REQUIRE(k.rows() == dim && k.cols() == dim,
+                "Kraus matrix dimension mismatch");
+  std::vector<unsigned> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::int64_t groups = static_cast<std::int64_t>(amp_.size() >> arity);
+  const cplx* const a = amp_.data();
+  double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total) \
+    if (amp_.size() >= kParallelThreshold)
+  for (std::int64_t g = 0; g < groups; ++g) {
+    std::uint64_t base = static_cast<std::uint64_t>(g);
+    for (unsigned b = 0; b < arity; ++b) base = insert_zero_bit(base, sorted[b]);
+    cplx in[4];  // arity <= 2 for channels in this library
+    std::uint64_t idx[4];
+    for (std::size_t local = 0; local < dim; ++local) {
+      std::uint64_t full = base;
+      for (unsigned b = 0; b < arity; ++b)
+        if ((local >> b) & 1u) full |= 1ULL << qubits[b];
+      idx[local] = full;
+      in[local] = a[full];
+    }
+    for (std::size_t r = 0; r < dim; ++r) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t c = 0; c < dim; ++c) acc += k(r, c) * in[c];
+      total += std::norm(acc);
+    }
+  }
+  return total;
+}
+
+double StateVector::apply_kraus_branch(const Matrix& k,
+                                       std::span<const unsigned> qubits) {
+  apply_gate(k, qubits);
+  const double p = norm2();
+  PTSBE_REQUIRE(p > 1e-300, "Kraus branch has zero probability at this state");
+  const double inv = 1.0 / std::sqrt(p);
+  for (cplx& v : amp_) v *= inv;
+  return p;
+}
+
+double StateVector::norm2() const noexcept {
+  double s = 0.0;
+  const std::int64_t n = static_cast<std::int64_t>(amp_.size());
+  const cplx* const a = amp_.data();
+#pragma omp parallel for schedule(static) reduction(+ : s) \
+    if (amp_.size() >= kParallelThreshold)
+  for (std::int64_t i = 0; i < n; ++i) s += std::norm(a[i]);
+  return s;
+}
+
+void StateVector::normalize() {
+  const double s = norm2();
+  PTSBE_REQUIRE(s > 1e-300, "cannot normalise a zero state");
+  const double inv = 1.0 / std::sqrt(s);
+  for (cplx& v : amp_) v *= inv;
+}
+
+double StateVector::probability_one(unsigned q) const {
+  PTSBE_REQUIRE(q < n_, "qubit out of range");
+  double s = 0.0;
+  const std::int64_t n = static_cast<std::int64_t>(amp_.size());
+  const cplx* const a = amp_.data();
+#pragma omp parallel for schedule(static) reduction(+ : s) \
+    if (amp_.size() >= kParallelThreshold)
+  for (std::int64_t i = 0; i < n; ++i)
+    if ((static_cast<std::uint64_t>(i) >> q) & 1ULL) s += std::norm(a[i]);
+  return s;
+}
+
+double StateVector::expectation_pauli(const std::string& pauli,
+                                      std::span<const unsigned> qubits) const {
+  PTSBE_REQUIRE(pauli.size() == qubits.size(),
+                "pauli string length must match qubit count");
+  StateVector phi = *this;
+  for (std::size_t i = 0; i < pauli.size(); ++i) {
+    const unsigned q = qubits[i];
+    switch (pauli[i]) {
+      case 'I': break;
+      case 'X': phi.apply_gate(gates::X(), std::array{q}); break;
+      case 'Y': phi.apply_gate(gates::Y(), std::array{q}); break;
+      case 'Z': phi.apply_gate(gates::Z(), std::array{q}); break;
+      default: PTSBE_REQUIRE(false, "pauli character must be one of IXYZ");
+    }
+  }
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < amp_.size(); ++i)
+    acc += std::conj(amp_[i]) * phi.amp_[i];
+  return acc.real();
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  PTSBE_REQUIRE(other.amp_.size() == amp_.size(), "state dimension mismatch");
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < amp_.size(); ++i)
+    acc += std::conj(amp_[i]) * other.amp_[i];
+  return std::norm(acc);
+}
+
+std::uint64_t StateVector::sample_one(RngStream& rng) const {
+  const double r = rng.uniform();
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i + 1 < amp_.size(); ++i) {
+    acc += std::norm(amp_[i]);
+    if (r < acc) return i;
+  }
+  return amp_.size() - 1;
+}
+
+std::vector<std::uint64_t> StateVector::sample_shots(std::size_t count,
+                                                     RngStream& rng) const {
+  std::vector<std::uint64_t> shots(count);
+  if (count == 0) return shots;
+  // Sorted uniforms + one cumulative pass over the probability mass. Shots
+  // come out sorted by basis index, which downstream dataset code is free to
+  // shuffle; sortedness does not bias the marginal distribution because the
+  // draws are exchangeable.
+  const std::vector<double> u = rng.sorted_uniforms(count);
+  std::size_t ptr = 0;
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < amp_.size() && ptr < count; ++i) {
+    acc += std::norm(amp_[i]);
+    while (ptr < count && u[ptr] < acc) shots[ptr++] = i;
+  }
+  // Numerical tail: any remaining draws land on the last nonzero bin.
+  for (; ptr < count; ++ptr) shots[ptr] = amp_.size() - 1;
+  return shots;
+}
+
+std::uint64_t extract_bits(std::uint64_t index, std::span<const unsigned> qubits) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < qubits.size(); ++i)
+    out |= static_cast<std::uint64_t>((index >> qubits[i]) & 1ULL) << i;
+  return out;
+}
+
+}  // namespace ptsbe

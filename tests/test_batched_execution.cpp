@@ -1,0 +1,252 @@
+// Tests for Batched Execution: correctness of the PTS→BE pipeline against
+// the exact density matrix, provenance metadata, dataset round trips, and
+// backend equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/dataset.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/densmat/density_matrix.hpp"
+#include "ptsbe/noise/channels.hpp"
+
+namespace ptsbe {
+namespace {
+
+NoisyCircuit noisy_ghz(unsigned n, double p) {
+  Circuit c(n);
+  c.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(p));
+  return nm.apply(c);
+}
+
+double tvd_records(const std::vector<std::uint64_t>& records,
+                   const std::vector<double>& weights,
+                   const std::vector<double>& exact) {
+  std::map<std::uint64_t, double> freq;
+  double total = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    freq[records[i]] += weights[i];
+    total += weights[i];
+  }
+  double d = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const auto it = freq.find(i);
+    d += std::abs((it == freq.end() ? 0.0 : it->second / total) - exact[i]);
+  }
+  return d / 2;
+}
+
+TEST(BatchedExecution, NoiselessSingleSpecGivesExactState) {
+  const NoisyCircuit noisy = noisy_ghz(3, 0.0);
+  TrajectorySpec spec;
+  spec.shots = 4000;
+  spec.nominal_probability = 1.0;
+  const auto result = be::execute(noisy, {spec});
+  ASSERT_EQ(result.batches.size(), 1u);
+  for (auto r : result.batches[0].records)
+    EXPECT_TRUE(r == 0 || r == 0b111);
+}
+
+TEST(BatchedExecution, ProportionalPipelineConvergesToDensityMatrix) {
+  // PTS (merged duplicates = draw-weighted) + BE must reproduce the exact
+  // noisy distribution for a unitary-mixture program.
+  const double p = 0.12;
+  const NoisyCircuit noisy = noisy_ghz(3, p);
+  DensityMatrix dm(3);
+  dm.apply_noisy_circuit(noisy);
+
+  RngStream rng(1);
+  pts::Options opt;
+  opt.nsamples = 20000;  // draw-count ∝ probability
+  opt.nshots = 1;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  const auto result = be::execute(noisy, specs);
+
+  // Weight each record by 1 (each spec's shot count already reflects its
+  // draw frequency).
+  std::vector<std::uint64_t> records;
+  std::vector<double> weights;
+  for (const auto& batch : result.batches)
+    for (auto r : batch.records) {
+      records.push_back(r);
+      weights.push_back(1.0);
+    }
+  EXPECT_LT(tvd_records(records, weights, dm.probabilities()), 0.03);
+}
+
+TEST(BatchedExecution, EnumeratedSpecsWithProbabilityWeights) {
+  // Deterministic PTS: enumerate all trajectories above a tiny cutoff and
+  // weight batches by nominal probability → exact distribution recovery.
+  const double p = 0.1;
+  const NoisyCircuit noisy = noisy_ghz(2, p);
+  DensityMatrix dm(2);
+  dm.apply_noisy_circuit(noisy);
+  const auto specs = pts::enumerate_most_likely(noisy, 1e-8, 3000);
+  const auto result = be::execute(noisy, specs);
+  std::vector<std::uint64_t> records;
+  std::vector<double> weights;
+  for (const auto& batch : result.batches) {
+    for (auto r : batch.records) {
+      records.push_back(r);
+      weights.push_back(batch.spec.nominal_probability);
+    }
+  }
+  EXPECT_LT(tvd_records(records, weights, dm.probabilities()), 0.03);
+}
+
+TEST(BatchedExecution, GeneralKrausRealizedProbabilityRecorded) {
+  Circuit c(1);
+  c.h(0);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::amplitude_damping(0.4));
+  const NoisyCircuit noisy = nm.apply(c);
+  TrajectorySpec decay;  // site 0 takes the decay branch (index 1)
+  decay.branches = {{0, 1}};
+  decay.shots = 100;
+  const auto result = be::execute(noisy, {decay});
+  ASSERT_EQ(result.batches.size(), 1u);
+  // ⟨+|K1†K1|+⟩ = γ/2 = 0.2.
+  EXPECT_NEAR(result.batches[0].realized_probability, 0.2, 1e-9);
+  // After the decay branch the state is |0⟩.
+  for (auto r : result.batches[0].records) EXPECT_EQ(r, 0u);
+}
+
+TEST(BatchedExecution, MpsBackendMatchesStatevectorBackend) {
+  const NoisyCircuit noisy = noisy_ghz(4, 0.15);
+  RngStream rng(2);
+  pts::Options opt;
+  opt.nsamples = 300;
+  opt.nshots = 50;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  be::Options sv_opt, mps_opt;
+  sv_opt.backend = be::Backend::kStateVector;
+  mps_opt.backend = be::Backend::kTensorNetwork;
+  const auto rv = be::execute(noisy, specs, sv_opt);
+  const auto rm = be::execute(noisy, specs, mps_opt);
+  ASSERT_EQ(rv.batches.size(), rm.batches.size());
+  // Per-trajectory states are identical, so per-batch outcome frequencies
+  // must agree statistically. Compare aggregate distributions.
+  std::map<std::uint64_t, double> fv, fm;
+  const double n = static_cast<double>(rv.total_shots());
+  for (const auto& b : rv.batches)
+    for (auto r : b.records) fv[r] += 1.0 / n;
+  for (const auto& b : rm.batches)
+    for (auto r : b.records) fm[r] += 1.0 / n;
+  for (std::uint64_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(fv[i], fm[i], 0.03) << "index " << i;
+}
+
+TEST(BatchedExecution, MultiDeviceMatchesSingleDevice) {
+  const NoisyCircuit noisy = noisy_ghz(3, 0.1);
+  RngStream rng(3);
+  pts::Options opt;
+  opt.nsamples = 100;
+  opt.nshots = 20;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  be::Options one, four;
+  one.num_devices = 1;
+  four.num_devices = 4;
+  const auto r1 = be::execute(noisy, specs, one);
+  const auto r4 = be::execute(noisy, specs, four);
+  ASSERT_EQ(r1.batches.size(), r4.batches.size());
+  // Per-trajectory RNG substreams make results identical regardless of
+  // device count and scheduling order.
+  for (std::size_t i = 0; i < r1.batches.size(); ++i)
+    EXPECT_EQ(r1.batches[i].records, r4.batches[i].records);
+}
+
+TEST(BatchedExecution, ProvenanceSurvivesPipeline) {
+  const NoisyCircuit noisy = noisy_ghz(3, 0.3);
+  RngStream rng(4);
+  pts::Options opt;
+  opt.nsamples = 50;
+  opt.nshots = 10;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  const auto result = be::execute(noisy, specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(result.batches[i].spec.same_assignment(specs[i]));
+    EXPECT_EQ(result.batches[i].spec_index, i);
+    // Error labels are reconstructible from the batch alone.
+    const auto labels = describe_errors(noisy, result.batches[i].spec);
+    EXPECT_EQ(labels.size(), specs[i].error_weight());
+  }
+}
+
+TEST(BatchedExecution, UniqueFractionBounds) {
+  const NoisyCircuit noisy = noisy_ghz(2, 0.0);
+  TrajectorySpec spec;
+  spec.shots = 1000;
+  const auto result = be::execute(noisy, {spec});
+  const double f = result.unique_shot_fraction();
+  // GHZ(2) has only 2 outcomes → unique fraction = 2/1000.
+  EXPECT_NEAR(f, 0.002, 1e-9);
+  EXPECT_EQ(be::unique_fraction({}), 0.0);
+  EXPECT_EQ(be::unique_fraction({1, 2, 3}), 1.0);
+}
+
+TEST(Dataset, BinaryRoundTrip) {
+  const NoisyCircuit noisy = noisy_ghz(3, 0.2);
+  RngStream rng(5);
+  pts::Options opt;
+  opt.nsamples = 30;
+  opt.nshots = 25;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  const auto result = be::execute(noisy, specs);
+  const std::string path = "/tmp/ptsbe_test_dataset.bin";
+  dataset::write_binary(path, result);
+  const auto loaded = dataset::read_binary(path);
+  ASSERT_EQ(loaded.batches.size(), result.batches.size());
+  for (std::size_t i = 0; i < loaded.batches.size(); ++i) {
+    EXPECT_EQ(loaded.batches[i].records, result.batches[i].records);
+    EXPECT_TRUE(loaded.batches[i].spec.same_assignment(result.batches[i].spec));
+    EXPECT_DOUBLE_EQ(loaded.batches[i].realized_probability,
+                     result.batches[i].realized_probability);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, CsvContainsProvenance) {
+  const NoisyCircuit noisy = noisy_ghz(2, 0.4);
+  const auto specs = pts::enumerate_most_likely(noisy, 0.01, 5);
+  const auto result = be::execute(noisy, specs);
+  const std::string path = "/tmp/ptsbe_test_dataset.csv";
+  dataset::write_csv(path, result);
+  std::ifstream is(path);
+  ASSERT_TRUE(is);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "trajectory,shot,record,nominal_probability,errors");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(is, line);) ++rows;
+  EXPECT_EQ(rows, result.total_shots());
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, ReadRejectsGarbage) {
+  const std::string path = "/tmp/ptsbe_test_garbage.bin";
+  std::ofstream(path) << "not a dataset";
+  EXPECT_THROW((void)dataset::read_binary(path), runtime_failure);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)dataset::read_binary("/nonexistent/nope.bin"),
+               runtime_failure);
+}
+
+TEST(BatchedExecution, SpecValidationRejectsBadIndices) {
+  const NoisyCircuit noisy = noisy_ghz(2, 0.1);
+  TrajectorySpec bad;
+  bad.branches = {{999, 0}};
+  bad.shots = 1;
+  EXPECT_THROW((void)be::execute(noisy, {bad}), precondition_error);
+}
+
+}  // namespace
+}  // namespace ptsbe

@@ -1,0 +1,88 @@
+// Unit tests for the circuit IR: builders, validation, append/mapping,
+// depth, measurement bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "ptsbe/circuit/circuit.hpp"
+
+namespace ptsbe {
+namespace {
+
+TEST(Circuit, BuilderChainsAndCounts) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).measure_all();
+  EXPECT_EQ(c.num_qubits(), 3u);
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.gate_count(), 3u);
+  EXPECT_EQ(c.measured_qubits(), (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(Circuit, DepthGreedyMoments) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);          // one moment
+  c.cx(0, 1);                // second
+  c.cx(1, 2);                // third
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, RejectsOutOfRangeAndDuplicateTargets) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), precondition_error);
+  EXPECT_THROW(c.cx(0, 0), precondition_error);
+  EXPECT_THROW(c.gate("bad", Matrix::identity(2), {5}), precondition_error);
+}
+
+TEST(Circuit, RejectsWrongMatrixDimension) {
+  Circuit c(2);
+  EXPECT_THROW(c.gate("bad", Matrix::identity(2), {0, 1}), precondition_error);
+  EXPECT_THROW(c.gate("bad", Matrix::identity(4), {0}), precondition_error);
+}
+
+TEST(Circuit, AppendWithQubitMap) {
+  Circuit block(2);
+  block.h(0).cx(0, 1);
+  Circuit big(5);
+  big.append(block, {3, 4});
+  ASSERT_EQ(big.size(), 2u);
+  EXPECT_EQ(big.ops()[0].qubits, (std::vector<unsigned>{3}));
+  EXPECT_EQ(big.ops()[1].qubits, (std::vector<unsigned>{3, 4}));
+}
+
+TEST(Circuit, AppendGrowsWidth) {
+  Circuit block(2);
+  block.cx(0, 1);
+  Circuit big(1);
+  big.append(block, {0, 6});
+  EXPECT_EQ(big.num_qubits(), 7u);
+}
+
+TEST(Circuit, AppendIdentityMap) {
+  Circuit block(2);
+  block.x(1);
+  Circuit big(2);
+  big.append(block);
+  EXPECT_EQ(big.ops()[0].qubits, (std::vector<unsigned>{1}));
+}
+
+TEST(Circuit, ToStringListsOps) {
+  Circuit c(2);
+  c.rx(0, 0.5).measure(1);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("rx 0"), std::string::npos);
+  EXPECT_NE(s.find("measure 1"), std::string::npos);
+}
+
+TEST(Circuit, MeasureOrderIsCallOrder) {
+  Circuit c(3);
+  c.measure(2).measure(0);
+  EXPECT_EQ(c.measured_qubits(), (std::vector<unsigned>{2, 0}));
+}
+
+TEST(Circuit, GateMatrixStored) {
+  Circuit c(1);
+  c.h(0);
+  EXPECT_TRUE(approx_equal(c.ops()[0].matrix, gates::H(), 1e-14));
+}
+
+}  // namespace
+}  // namespace ptsbe

@@ -1,0 +1,110 @@
+// Tests for the density-matrix ground-truth backend, including the
+// equivalence rho = average over Kraus branches that underpins everything.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ptsbe/densmat/density_matrix.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+
+namespace ptsbe {
+namespace {
+
+TEST(DensityMatrix, InitialStateIsPureZero) {
+  DensityMatrix dm(2);
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-14);
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-14);
+  EXPECT_EQ(dm.element(0, 0), (cplx{1, 0}));
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStatevector) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(1).cx(1, 2).ry(2, 0.8);
+  DensityMatrix dm(3);
+  dm.apply_circuit(c);
+  StateVector sv(3);
+  sv.apply_circuit(c);
+  // rho == |psi><psi|
+  for (std::uint64_t r = 0; r < 8; ++r)
+    for (std::uint64_t col = 0; col < 8; ++col)
+      EXPECT_NEAR(std::abs(dm.element(r, col) -
+                           sv.amplitude(r) * std::conj(sv.amplitude(col))),
+                  0.0, 1e-12);
+  EXPECT_NEAR(dm.fidelity_with_pure(sv.amplitudes()), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingDrivesToMaximallyMixed) {
+  DensityMatrix dm(1);
+  const ChannelPtr ch = channels::depolarizing(0.75);  // full depolarization
+  dm.apply_channel(*ch, std::array{0u});
+  EXPECT_NEAR(std::abs(dm.element(0, 0) - cplx{0.5, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(dm.element(1, 1) - cplx{0.5, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(dm.purity(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingFixedPoint) {
+  DensityMatrix dm(1);
+  dm.apply_unitary(gates::X(), std::array{0u});  // |1>
+  const ChannelPtr ch = channels::amplitude_damping(1.0);
+  dm.apply_channel(*ch, std::array{0u});
+  // Full damping returns |0>.
+  EXPECT_NEAR(std::abs(dm.element(0, 0) - cplx{1, 0}), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, ChannelPreservesTrace) {
+  DensityMatrix dm(2);
+  dm.apply_unitary(gates::H(), std::array{0u});
+  dm.apply_unitary(gates::CX(), std::array{0u, 1u});
+  for (const ChannelPtr& ch :
+       {channels::depolarizing(0.1), channels::amplitude_damping(0.3),
+        channels::phase_damping(0.2)}) {
+    dm.apply_channel(*ch, std::array{1u});
+    EXPECT_NEAR(dm.trace_real(), 1.0, 1e-10) << ch->name();
+  }
+  const ChannelPtr ch2 = channels::depolarizing2(0.2);
+  dm.apply_channel(*ch2, std::array{0u, 1u});
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, NoisyCircuitExpandsChannels) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(0.05));
+  const NoisyCircuit noisy = nm.apply(c);
+  DensityMatrix dm(2);
+  dm.apply_noisy_circuit(noisy);
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-10);
+  EXPECT_LT(dm.purity(), 1.0);  // noise mixed the state
+}
+
+TEST(DensityMatrix, ExpectationPauliOnBell) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  DensityMatrix dm(2);
+  dm.apply_circuit(c);
+  EXPECT_NEAR(dm.expectation_pauli("XX", std::array{0u, 1u}), 1.0, 1e-12);
+  EXPECT_NEAR(dm.expectation_pauli("YY", std::array{0u, 1u}), -1.0, 1e-12);
+  EXPECT_NEAR(dm.expectation_pauli("ZZ", std::array{0u, 1u}), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, SampleShotsFollowDiagonal) {
+  DensityMatrix dm(1);
+  dm.apply_unitary(gates::RY(2 * std::asin(std::sqrt(0.3))), std::array{0u});
+  dm.apply_channel(*channels::phase_damping(0.9), std::array{0u});
+  RngStream rng(12);
+  const auto shots = dm.sample_shots(30000, rng);
+  double ones = 0;
+  for (auto s : shots) ones += s & 1;
+  EXPECT_NEAR(ones / 30000.0, 0.3, 0.01);
+}
+
+TEST(DensityMatrix, RejectsTooManyQubits) {
+  EXPECT_THROW(DensityMatrix(14), precondition_error);
+}
+
+}  // namespace
+}  // namespace ptsbe

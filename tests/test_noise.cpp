@@ -1,0 +1,166 @@
+// Unit tests for ptsbe/noise: channel validation, unitary-mixture
+// detection, standard channel factories, noise-model expansion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ptsbe/circuit/gates.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/noise/noise_model.hpp"
+
+namespace ptsbe {
+namespace {
+
+TEST(KrausChannel, RejectsNonCptp) {
+  std::vector<Matrix> ops{gates::I() * cplx{0.5, 0}};
+  EXPECT_THROW(KrausChannel("bad", std::move(ops)), precondition_error);
+}
+
+TEST(KrausChannel, RejectsMixedDimensions) {
+  std::vector<Matrix> ops{Matrix::identity(2), Matrix::identity(4)};
+  EXPECT_THROW(KrausChannel("bad", std::move(ops)), precondition_error);
+}
+
+TEST(StandardChannels, DepolarizingIsUnitaryMixture) {
+  const ChannelPtr ch = channels::depolarizing(0.1);
+  EXPECT_TRUE(ch->is_unitary_mixture());
+  EXPECT_EQ(ch->num_branches(), 4u);
+  EXPECT_EQ(ch->arity(), 1u);
+  const auto& p = ch->nominal_probabilities();
+  EXPECT_NEAR(p[0], 0.9, 1e-12);
+  EXPECT_NEAR(p[1], 0.1 / 3, 1e-12);
+  EXPECT_EQ(ch->identity_branch(), 0);
+  EXPECT_EQ(ch->default_branch(), 0u);
+}
+
+TEST(StandardChannels, ProbabilitiesSumToOne) {
+  for (const ChannelPtr& ch :
+       {channels::depolarizing(0.07), channels::depolarizing2(0.2),
+        channels::bit_flip(0.3), channels::phase_flip(0.15),
+        channels::bit_phase_flip(0.05), channels::pauli_channel(0.1, 0.05, 0.2),
+        channels::amplitude_damping(0.25), channels::phase_damping(0.4),
+        channels::correlated_xx_zz(0.1)}) {
+    double sum = 0.0;
+    for (double p : ch->nominal_probabilities()) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << ch->name();
+  }
+}
+
+TEST(StandardChannels, AmplitudeDampingIsNotUnitaryMixture) {
+  const ChannelPtr ch = channels::amplitude_damping(0.2);
+  EXPECT_FALSE(ch->is_unitary_mixture());
+  EXPECT_EQ(ch->identity_branch(), -1);
+  // Default branch is the dominant no-decay Kraus.
+  EXPECT_EQ(ch->default_branch(), 0u);
+  EXPECT_THROW((void)ch->unitary(0), precondition_error);
+}
+
+TEST(StandardChannels, Depolarizing2Has16Branches) {
+  const ChannelPtr ch = channels::depolarizing2(0.15);
+  EXPECT_EQ(ch->num_branches(), 16u);
+  EXPECT_EQ(ch->arity(), 2u);
+  EXPECT_TRUE(ch->is_unitary_mixture());
+  EXPECT_EQ(ch->identity_branch(), 0);
+}
+
+TEST(StandardChannels, ParameterValidation) {
+  EXPECT_THROW((void)channels::depolarizing(1.5), precondition_error);
+  EXPECT_THROW((void)channels::amplitude_damping(-0.1), precondition_error);
+  EXPECT_THROW((void)channels::pauli_channel(0.6, 0.3, 0.2), precondition_error);
+  EXPECT_THROW((void)channels::correlated_xx_zz(0.6), precondition_error);
+}
+
+TEST(NoiseModel, GateNoiseExpandsPerTargetQubit) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  NoiseModel nm;
+  nm.add_gate_noise("cx", channels::depolarizing(0.01));
+  const NoisyCircuit noisy = nm.apply(c);
+  // 1q channel after a 2q gate → one site per target.
+  ASSERT_EQ(noisy.num_sites(), 2u);
+  EXPECT_EQ(noisy.sites()[0].qubits, (std::vector<unsigned>{0}));
+  EXPECT_EQ(noisy.sites()[1].qubits, (std::vector<unsigned>{1}));
+  EXPECT_EQ(noisy.sites()[0].after_op, 1u);
+}
+
+TEST(NoiseModel, TwoQubitChannelBindsToPair) {
+  Circuit c(3);
+  c.cx(0, 2).h(1);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing2(0.05));
+  const NoisyCircuit noisy = nm.apply(c);
+  // 2q channel skips the 1q gate.
+  ASSERT_EQ(noisy.num_sites(), 1u);
+  EXPECT_EQ(noisy.sites()[0].qubits, (std::vector<unsigned>{0, 2}));
+}
+
+TEST(NoiseModel, StatePrepAndMeasurementNoise) {
+  Circuit c(2);
+  c.h(0).measure(0).measure(1);
+  NoiseModel nm;
+  nm.add_state_prep_noise(channels::bit_flip(0.02));
+  nm.add_measurement_noise(channels::bit_flip(0.03));
+  const NoisyCircuit noisy = nm.apply(c);
+  // 2 prep sites + 2 readout sites.
+  EXPECT_EQ(noisy.num_sites(), 4u);
+  EXPECT_EQ(noisy.sites_after(NoiseSite::kBeforeCircuit).size(), 2u);
+}
+
+TEST(NoiseModel, QubitSpecificRule) {
+  Circuit c(3);
+  c.cx(0, 1).cx(1, 2);
+  NoiseModel nm;
+  nm.add_gate_noise_on("cx", {1, 2}, channels::depolarizing2(0.1));
+  const NoisyCircuit noisy = nm.apply(c);
+  ASSERT_EQ(noisy.num_sites(), 1u);
+  EXPECT_EQ(noisy.sites()[0].after_op, 1u);
+}
+
+TEST(NoisyCircuit, NominalTrajectoryProbability) {
+  Circuit c(1);
+  c.h(0);
+  NoiseModel nm;
+  nm.add_gate_noise("h", channels::depolarizing(0.3));
+  const NoisyCircuit noisy = nm.apply(c);
+  ASSERT_EQ(noisy.num_sites(), 1u);
+  const std::vector<std::size_t> id_branch{0};
+  EXPECT_NEAR(noisy.nominal_trajectory_probability(id_branch), 0.7, 1e-12);
+  const std::vector<std::size_t> x_branch{1};
+  EXPECT_NEAR(noisy.nominal_trajectory_probability(x_branch), 0.1, 1e-12);
+}
+
+TEST(NoisyCircuit, SparseProbabilityUsesDefaultBranch) {
+  Circuit c(2);
+  c.h(0).h(1);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(0.3));
+  const NoisyCircuit noisy = nm.apply(c);
+  ASSERT_EQ(noisy.num_sites(), 2u);
+  // One error at site 0, default at site 1.
+  const std::vector<std::pair<std::size_t, std::size_t>> sparse{{0, 2}};
+  EXPECT_NEAR(noisy.nominal_sparse_probability(sparse), 0.1 * 0.7, 1e-12);
+  // Empty assignment = all default.
+  EXPECT_NEAR(noisy.nominal_sparse_probability({}), 0.49, 1e-12);
+}
+
+TEST(NoisyCircuit, AllUnitaryMixtureFlag) {
+  Circuit c(1);
+  c.h(0);
+  NoiseModel pauli_nm;
+  pauli_nm.add_all_gate_noise(channels::depolarizing(0.1));
+  EXPECT_TRUE(pauli_nm.apply(c).all_unitary_mixture());
+  NoiseModel damp_nm;
+  damp_nm.add_all_gate_noise(channels::amplitude_damping(0.1));
+  EXPECT_FALSE(damp_nm.apply(c).all_unitary_mixture());
+}
+
+TEST(NoisyCircuit, CorrelatedChannelHasIdentityBranch) {
+  const ChannelPtr ch = channels::correlated_xx_zz(0.05);
+  EXPECT_TRUE(ch->is_unitary_mixture());
+  EXPECT_EQ(ch->identity_branch(), 0);
+  EXPECT_EQ(ch->arity(), 2u);
+}
+
+}  // namespace
+}  // namespace ptsbe

@@ -1,0 +1,284 @@
+// Cross-cutting property suites (parameterized gtest): every standard
+// channel must make all simulation routes agree with the exact density
+// matrix; Clifford circuit inversion must be exact; MPS truncation must
+// degrade gracefully; samplers must pass frequency tests against exact
+// probabilities.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/densmat/density_matrix.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/qec/stabilizer_code.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+#include "ptsbe/tensornet/mps.hpp"
+#include "ptsbe/trajectory/trajectory.hpp"
+
+namespace ptsbe {
+namespace {
+
+double tvd_map(const std::map<std::uint64_t, double>& f,
+               const std::vector<double>& exact) {
+  double d = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const auto it = f.find(i);
+    d += std::abs((it == f.end() ? 0.0 : it->second) - exact[i]);
+  }
+  return d / 2;
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: for every standard channel, Algorithm-1 trajectories AND the
+// PTS→BE pipeline converge to the exact density-matrix distribution.
+// ---------------------------------------------------------------------------
+
+struct ChannelCase {
+  const char* name;
+  ChannelPtr channel;
+};
+
+class ChannelEquivalence : public ::testing::TestWithParam<int> {
+ public:
+  static ChannelCase make(int i) {
+    switch (i) {
+      case 0: return {"depolarizing", channels::depolarizing(0.08)};
+      case 1: return {"bit_flip", channels::bit_flip(0.12)};
+      case 2: return {"phase_flip", channels::phase_flip(0.15)};
+      case 3: return {"bit_phase_flip", channels::bit_phase_flip(0.1)};
+      case 4: return {"pauli_channel", channels::pauli_channel(0.05, 0.07, 0.03)};
+      case 5: return {"amplitude_damping", channels::amplitude_damping(0.2)};
+      case 6: return {"phase_damping", channels::phase_damping(0.25)};
+      default: return {"depolarizing2+corr", nullptr};  // handled separately
+    }
+  }
+};
+
+NoisyCircuit channel_program(const ChannelPtr& one_qubit_channel) {
+  Circuit c(2);
+  c.h(0).t(0).cx(0, 1).s(1);
+  c.measure_all();
+  NoiseModel nm;
+  if (one_qubit_channel != nullptr) {
+    nm.add_all_gate_noise(one_qubit_channel);
+  } else {
+    nm.add_all_gate_noise(channels::depolarizing2(0.1));
+    nm.add_all_gate_noise(channels::correlated_xx_zz(0.04));
+  }
+  return nm.apply(c);
+}
+
+TEST_P(ChannelEquivalence, TrajectoriesMatchDensityMatrix) {
+  const ChannelCase cse = make(GetParam());
+  const NoisyCircuit noisy = channel_program(cse.channel);
+  DensityMatrix dm(2);
+  dm.apply_noisy_circuit(noisy);
+  const auto exact = dm.probabilities();
+
+  RngStream rng(100 + GetParam());
+  const auto base = traj::run_statevector(noisy, 25000, rng);
+  std::map<std::uint64_t, double> fb;
+  for (auto r : base.records) fb[r] += 1.0 / base.records.size();
+  EXPECT_LT(tvd_map(fb, exact), 0.02) << cse.name << " (Algorithm 1)";
+}
+
+TEST_P(ChannelEquivalence, PtsbePipelineMatchesDensityMatrix) {
+  const ChannelCase cse = make(GetParam());
+  const NoisyCircuit noisy = channel_program(cse.channel);
+  DensityMatrix dm(2);
+  dm.apply_noisy_circuit(noisy);
+  const auto exact = dm.probabilities();
+
+  RngStream rng(200 + GetParam());
+  pts::Options opt;
+  opt.nsamples = 25000;
+  opt.nshots = 1;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  const auto result = be::execute(noisy, specs);
+  // Nominal-draw weighting with the realized/nominal importance correction
+  // for general channels: weight each record by realized/nominal so the
+  // estimator is unbiased even when PTS sampled by nominal probability.
+  std::map<std::uint64_t, double> f;
+  double total = 0;
+  for (const auto& batch : result.batches) {
+    if (batch.records.empty()) continue;
+    const double ratio =
+        batch.realized_probability / batch.spec.nominal_probability;
+    for (auto r : batch.records) {
+      f[r] += ratio;
+      total += ratio;
+    }
+  }
+  for (auto& [k, v] : f) v /= total;
+  EXPECT_LT(tvd_map(f, exact), 0.025) << cse.name << " (PTSBE)";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChannels, ChannelEquivalence,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Property 2: invert_clifford_circuit composes to the identity.
+// ---------------------------------------------------------------------------
+
+class CliffordInversion : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CliffordInversion, CircuitTimesInverseIsIdentity) {
+  RngStream rng(GetParam());
+  const unsigned n = 4;
+  Circuit c(n);
+  const char* names[] = {"h", "s", "sdg", "x", "y", "z", "sx", "sy"};
+  for (int i = 0; i < 30; ++i) {
+    if (rng.uniform() < 0.6) {
+      const unsigned q = static_cast<unsigned>(rng.uniform_index(n));
+      const std::string g = names[rng.uniform_index(8)];
+      if (g == "h") c.h(q);
+      else if (g == "s") c.s(q);
+      else if (g == "sdg") c.sdg(q);
+      else if (g == "x") c.x(q);
+      else if (g == "y") c.y(q);
+      else if (g == "z") c.z(q);
+      else if (g == "sx") c.sx(q);
+      else c.sy(q);
+    } else {
+      unsigned a = static_cast<unsigned>(rng.uniform_index(n));
+      unsigned b = static_cast<unsigned>(rng.uniform_index(n));
+      if (a == b) b = (b + 1) % n;
+      switch (rng.uniform_index(3)) {
+        case 0: c.cx(a, b); break;
+        case 1: c.cz(a, b); break;
+        default: c.swap(a, b); break;
+      }
+    }
+  }
+  StateVector ref(n);
+  ref.apply_gate(gates::RY(0.7), std::array{0u});
+  ref.apply_gate(gates::RY(1.3), std::array{2u});
+  StateVector sv = ref;
+  sv.apply_circuit(c);
+  sv.apply_circuit(qec::invert_clifford_circuit(c));
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliffordInversion,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+// ---------------------------------------------------------------------------
+// Property 3: MPS truncation degrades fidelity gracefully and monotonically
+// in the bond cap (up to noise), and reported discarded weight tracks the
+// actual fidelity loss.
+// ---------------------------------------------------------------------------
+
+TEST(MpsTruncationProperty, FidelityImprovesWithBondDimension) {
+  const unsigned n = 8;
+  Circuit c(n);
+  RngStream rng(33);
+  for (unsigned d = 0; d < 6; ++d) {
+    for (unsigned q = 0; q < n; ++q) c.ry(q, rng.uniform(0, 3.1));
+    for (unsigned q = d % 2; q + 1 < n; q += 2) c.cx(q, q + 1);
+  }
+  StateVector exact(n);
+  exact.apply_circuit(c);
+
+  double previous = -1.0;
+  for (std::size_t bond : {2ul, 4ul, 8ul, 16ul}) {
+    MpsConfig cfg;
+    cfg.max_bond = bond;
+    MpsState mps(n, cfg);
+    mps.apply_circuit(c);
+    const auto amps = mps.to_statevector();
+    cplx overlap{0, 0};
+    for (std::uint64_t i = 0; i < (1u << n); ++i)
+      overlap += std::conj(amps[i]) * exact.amplitude(i);
+    const double fidelity = std::norm(overlap) / mps.norm2();
+    EXPECT_GE(fidelity, previous - 0.02) << "bond " << bond;
+    previous = fidelity;
+    if (bond == 16) EXPECT_GT(fidelity, 0.999);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property 4: the bulk sampler passes a chi-square frequency test against
+// exact probabilities on a structured state.
+// ---------------------------------------------------------------------------
+
+TEST(SamplerProperty, ChiSquareAgainstExactProbabilities) {
+  const unsigned n = 5;
+  Circuit c(n);
+  c.h(0).cx(0, 1).ry(2, 0.8).cx(2, 3).t(3).h(4).cz(3, 4);
+  StateVector sv(n);
+  sv.apply_circuit(c);
+  RngStream rng(44);
+  const std::size_t m = 200000;
+  const auto shots = sv.sample_shots(m, rng);
+  std::vector<double> counts(1u << n, 0.0);
+  for (auto s : shots) counts[s] += 1.0;
+  double chi2 = 0.0;
+  int dof = 0;
+  for (std::uint64_t i = 0; i < (1u << n); ++i) {
+    const double expect = std::norm(sv.amplitude(i)) * m;
+    if (expect < 5.0) continue;  // standard chi-square validity guard
+    chi2 += (counts[i] - expect) * (counts[i] - expect) / expect;
+    ++dof;
+  }
+  // dof ≈ 24 populated bins; 99.9th percentile of chi2(30) ≈ 59.7.
+  EXPECT_LT(chi2, 65.0) << "dof=" << dof;
+}
+
+// ---------------------------------------------------------------------------
+// Property 5: PTS proportional redistribution preserves expectation-value
+// estimation — estimate <Z0Z1> on a noisy Bell state and compare with the
+// density matrix.
+// ---------------------------------------------------------------------------
+
+TEST(ProportionalEstimator, RecoverZZExpectation) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(0.1));
+  const NoisyCircuit noisy = nm.apply(c);
+  DensityMatrix dm(2);
+  dm.apply_noisy_circuit(noisy);
+  const double exact_zz = dm.expectation_pauli("ZZ", std::array{0u, 1u});
+
+  const auto all = pts::enumerate_most_likely(noisy, 1e-10, 1);
+  auto specs = pts::redistribute_proportional(all, 200000);
+  const auto result = be::execute(noisy, specs);
+  double zz = 0, shots = 0;
+  for (const auto& batch : result.batches)
+    for (auto r : batch.records) {
+      zz += ((r & 1) == ((r >> 1) & 1)) ? 1.0 : -1.0;
+      shots += 1.0;
+    }
+  EXPECT_NEAR(zz / shots, exact_zz, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Property 6: spec dedup is idempotent and conserves shots when merging.
+// ---------------------------------------------------------------------------
+
+TEST(DedupProperty, IdempotentAndShotConserving) {
+  RngStream rng(55);
+  std::vector<TrajectorySpec> specs;
+  for (int i = 0; i < 500; ++i) {
+    TrajectorySpec s;
+    const int kind = static_cast<int>(rng.uniform_index(5));
+    for (int b = 0; b < kind; ++b)
+      s.branches.push_back({rng.uniform_index(4), rng.uniform_index(3)});
+    s.shots = 10;
+    specs.push_back(s);
+  }
+  const std::uint64_t before = total_shots(specs);
+  auto merged = pts::dedup(specs, true);
+  EXPECT_EQ(total_shots(merged), before);
+  auto merged_again = pts::dedup(merged, true);
+  EXPECT_EQ(merged_again.size(), merged.size());
+  EXPECT_EQ(total_shots(merged_again), before);
+}
+
+}  // namespace
+}  // namespace ptsbe

@@ -1,0 +1,239 @@
+// Tests for the PTS samplers (Algorithm 2 + variants): dedup, probability
+// bookkeeping, band filtering, exhaustive enumeration, tailored injection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/noise/channels.hpp"
+
+namespace ptsbe {
+namespace {
+
+NoisyCircuit small_program(double p, unsigned n = 3) {
+  Circuit c(n);
+  for (unsigned q = 0; q < n; ++q) c.h(q);
+  for (unsigned q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(p));
+  return nm.apply(c);
+}
+
+TEST(PtsProbabilistic, SpecsAreUniqueAndCanonical) {
+  const NoisyCircuit noisy = small_program(0.3);
+  RngStream rng(1);
+  pts::Options opt;
+  opt.nsamples = 500;
+  opt.nshots = 7;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  ASSERT_FALSE(specs.empty());
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.shots, 7u);
+    EXPECT_TRUE(std::is_sorted(s.branches.begin(), s.branches.end()));
+    EXPECT_GT(s.nominal_probability, 0.0);
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    for (std::size_t j = i + 1; j < specs.size(); ++j)
+      EXPECT_FALSE(specs[i].same_assignment(specs[j]));
+}
+
+TEST(PtsProbabilistic, ErrorFrequencyTracksChannelProbability) {
+  const double p = 0.25;
+  const NoisyCircuit noisy = small_program(p);
+  RngStream rng(2);
+  pts::Options opt;
+  opt.nsamples = 5000;
+  opt.merge_duplicates = true;  // keep draws as weights
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  // Weighted mean error count per trajectory ≈ num_sites * p.
+  double weighted_errors = 0, weight = 0;
+  for (const auto& s : specs) {
+    weighted_errors += static_cast<double>(s.error_weight() * s.shots);
+    weight += static_cast<double>(s.shots);
+  }
+  const double expected = noisy.num_sites() * p;
+  EXPECT_NEAR(weighted_errors / weight, expected, 0.1 * expected + 0.05);
+}
+
+TEST(PtsProbabilistic, MergeDuplicatesSumsShots) {
+  // One site with huge error probability → few distinct assignments.
+  Circuit c(1);
+  c.h(0);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::bit_flip(0.5));
+  const NoisyCircuit noisy = nm.apply(c);
+  RngStream rng(3);
+  pts::Options opt;
+  opt.nsamples = 1000;
+  opt.nshots = 3;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  ASSERT_LE(specs.size(), 2u);
+  EXPECT_EQ(total_shots(specs), 3000u);
+}
+
+TEST(PtsProbabilistic, FilterRestrictsToGate) {
+  const NoisyCircuit noisy = small_program(0.5);
+  RngStream rng(4);
+  pts::Options opt;
+  opt.nsamples = 300;
+  pts::SiteFilter filter;
+  filter.gate_name = "cx";
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng, &filter);
+  for (const auto& s : specs)
+    for (const auto& bc : s.branches) {
+      const NoiseSite& site = noisy.sites()[bc.site];
+      EXPECT_EQ(noisy.circuit().ops()[site.after_op].name, "cx");
+    }
+}
+
+TEST(PtsProportional, ShotsFollowProbabilities) {
+  const NoisyCircuit noisy = small_program(0.2);
+  RngStream rng(5);
+  pts::Options opt;
+  opt.nsamples = 200;
+  auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  const std::uint64_t total = 100000;
+  const auto redistributed = pts::redistribute_proportional(specs, total);
+  ASSERT_FALSE(redistributed.empty());
+  double psum = 0;
+  for (const auto& s : redistributed) psum += s.nominal_probability;
+  for (const auto& s : redistributed) {
+    const double share = s.nominal_probability / psum;
+    EXPECT_NEAR(static_cast<double>(s.shots),
+                share * static_cast<double>(total),
+                0.05 * share * total + 2.0);
+  }
+}
+
+TEST(PtsBand, KeepsOnlyInBand) {
+  const NoisyCircuit noisy = small_program(0.3);
+  RngStream rng(6);
+  pts::Options opt;
+  opt.nsamples = 500;
+  auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  const auto banded = pts::filter_band(specs, 1e-4, 1e-2);
+  for (const auto& s : banded) {
+    EXPECT_GE(s.nominal_probability, 1e-4);
+    EXPECT_LE(s.nominal_probability, 1e-2);
+  }
+  EXPECT_THROW((void)pts::filter_band({}, 0.5, 0.1), precondition_error);
+}
+
+TEST(PtsEnumerate, FindsAllAboveCutoffExactly) {
+  // 2 sites of bit_flip(0.1): joint probabilities are 0.81, 0.09, 0.09, 0.01.
+  Circuit c(2);
+  c.h(0).h(1);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::bit_flip(0.1));
+  const NoisyCircuit noisy = nm.apply(c);
+  ASSERT_EQ(noisy.num_sites(), 2u);
+  const auto specs = pts::enumerate_most_likely(noisy, 0.05, 10);
+  ASSERT_EQ(specs.size(), 3u);  // 0.81, 0.09, 0.09 — not 0.01
+  EXPECT_NEAR(specs[0].nominal_probability, 0.81, 1e-12);
+  EXPECT_EQ(specs[0].error_weight(), 0u);
+  EXPECT_NEAR(specs[1].nominal_probability, 0.09, 1e-12);
+  EXPECT_NEAR(specs[2].nominal_probability, 0.09, 1e-12);
+  // With a lower cutoff, the double error appears.
+  const auto all = pts::enumerate_most_likely(noisy, 0.005, 10);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_NEAR(all[3].nominal_probability, 0.01, 1e-12);
+  EXPECT_EQ(all[3].error_weight(), 2u);
+}
+
+TEST(PtsEnumerate, MaxResultsTruncates) {
+  const NoisyCircuit noisy = small_program(0.1);
+  const auto specs = pts::enumerate_most_likely(noisy, 1e-6, 5, 4);
+  EXPECT_EQ(specs.size(), 4u);
+  // Sorted descending.
+  for (std::size_t i = 0; i + 1 < specs.size(); ++i)
+    EXPECT_GE(specs[i].nominal_probability, specs[i + 1].nominal_probability);
+}
+
+TEST(PtsEnumerate, ProbabilitiesSumToAtMostOne) {
+  const NoisyCircuit noisy = small_program(0.15);
+  const auto specs = pts::enumerate_most_likely(noisy, 1e-9, 1);
+  double sum = 0;
+  for (const auto& s : specs) sum += s.nominal_probability;
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(sum, 0.9);  // cutoff is tiny, nearly everything enumerated
+}
+
+TEST(PtsTwirled, ScramblesErrorTypesUniformly) {
+  // phase_flip fires Z only; twirled sampling still only has Z available
+  // (one error branch), so twirling depolarizing instead: fired sites pick
+  // X/Y/Z uniformly even though the channel is already uniform — check the
+  // shape on a *biased* channel.
+  Circuit c(1);
+  c.h(0);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::pauli_channel(0.28, 0.01, 0.01));
+  const NoisyCircuit noisy = nm.apply(c);
+  RngStream rng(7);
+  pts::Options opt;
+  opt.nsamples = 9000;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_pauli_twirled(noisy, opt, rng);
+  // Among fired specs, branches 1(X), 2(Y), 3(Z) should be ~uniform.
+  double counts[4] = {0, 0, 0, 0};
+  for (const auto& s : specs)
+    for (const auto& bc : s.branches)
+      counts[bc.branch] += static_cast<double>(s.shots);
+  const double fired = counts[1] + counts[2] + counts[3];
+  ASSERT_GT(fired, 0);
+  EXPECT_NEAR(counts[1] / fired, 1.0 / 3, 0.05);
+  EXPECT_NEAR(counts[2] / fired, 1.0 / 3, 0.05);
+  EXPECT_NEAR(counts[3] / fired, 1.0 / 3, 0.05);
+}
+
+TEST(PtsCorrelated, BoostIncreasesClusterRate) {
+  const NoisyCircuit noisy = small_program(0.08, 4);
+  pts::Options opt;
+  opt.nsamples = 4000;
+  opt.merge_duplicates = true;
+  RngStream rng_a(8), rng_b(9);
+  const auto base = pts::sample_probabilistic(noisy, opt, rng_a);
+  const auto boosted =
+      pts::sample_spatially_correlated(noisy, opt, rng_b, 8.0, 1);
+  const auto mean_weight = [](const std::vector<TrajectorySpec>& specs) {
+    double w = 0, n = 0;
+    for (const auto& s : specs) {
+      w += static_cast<double>(s.error_weight() * s.shots);
+      n += static_cast<double>(s.shots);
+    }
+    return w / n;
+  };
+  EXPECT_GT(mean_weight(boosted), mean_weight(base) * 1.3);
+}
+
+TEST(TrajectorySpec, DescribeErrorsNamesSitesAndChannels) {
+  const NoisyCircuit noisy = small_program(0.3);
+  TrajectorySpec spec;
+  spec.branches = {{0, 1}};
+  const auto lines = describe_errors(noisy, spec);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("depolarizing"), std::string::npos);
+  EXPECT_NE(lines[0].find("branch 1"), std::string::npos);
+}
+
+TEST(TrajectorySpec, HashDistinguishesAssignments) {
+  TrajectorySpec a, b;
+  a.branches = {{0, 1}};
+  b.branches = {{0, 2}};
+  EXPECT_NE(a.assignment_hash(), b.assignment_hash());
+  b.branches = {{0, 1}};
+  EXPECT_EQ(a.assignment_hash(), b.assignment_hash());
+}
+
+TEST(TrajectorySpec, RefreshProbabilities) {
+  const NoisyCircuit noisy = small_program(0.3);
+  std::vector<TrajectorySpec> specs(1);
+  specs[0].branches = {{0, 1}};
+  refresh_probabilities(noisy, specs);
+  EXPECT_GT(specs[0].nominal_probability, 0.0);
+}
+
+}  // namespace
+}  // namespace ptsbe

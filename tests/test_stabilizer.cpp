@@ -1,0 +1,260 @@
+// Tests for the Clifford tableau and the Pauli-frame bulk sampler,
+// including cross-validation against the statevector backend.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/stabilizer/pauli_frame.hpp"
+#include "ptsbe/stabilizer/tableau.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+#include "ptsbe/trajectory/trajectory.hpp"
+
+namespace ptsbe {
+namespace {
+
+TEST(Tableau, InitialStabilizersAreZ) {
+  CliffordTableau t(3);
+  EXPECT_EQ(t.stabilizer_row(0), "+ZII");
+  EXPECT_EQ(t.stabilizer_row(1), "+IZI");
+  EXPECT_EQ(t.stabilizer_row(2), "+IIZ");
+}
+
+TEST(Tableau, HadamardMapsZToX) {
+  CliffordTableau t(1);
+  t.h(0);
+  EXPECT_EQ(t.stabilizer_row(0), "+X");
+}
+
+TEST(Tableau, BellStateStabilizers) {
+  CliffordTableau t(2);
+  t.h(0);
+  t.cx(0, 1);
+  EXPECT_EQ(t.stabilizer_row(0), "+XX");
+  EXPECT_EQ(t.stabilizer_row(1), "+ZZ");
+}
+
+TEST(Tableau, XFlipsMeasurement) {
+  CliffordTableau t(1);
+  t.x(0);
+  RngStream rng(1);
+  bool det = false;
+  EXPECT_EQ(t.measure(0, rng, &det), 1u);
+  EXPECT_TRUE(det);
+}
+
+TEST(Tableau, SOnPlusGivesY) {
+  CliffordTableau t(1);
+  t.h(0);
+  t.s(0);
+  EXPECT_EQ(t.stabilizer_row(0), "+Y");
+  t.sdg(0);
+  EXPECT_EQ(t.stabilizer_row(0), "+X");
+}
+
+TEST(Tableau, SqrtGatesMatchDecompositions) {
+  // sx = h s h ⇒ sx|0> has stabilizer -Y (since SX Z SX† = -Y... verify via
+  // statevector instead: both tableau and sv measure the same distribution).
+  CliffordTableau t(1);
+  t.sx(0);
+  RngStream rng(3);
+  int ones = 0;
+  for (int i = 0; i < 200; ++i) {
+    CliffordTableau fresh(1);
+    fresh.sx(0);
+    RngStream r2(1000 + i);
+    ones += fresh.measure(0, r2);
+  }
+  EXPECT_NEAR(ones / 200.0, 0.5, 0.12);  // sqrt(X)|0> is equatorial
+}
+
+TEST(Tableau, MeasurementCollapseIsSticky) {
+  RngStream rng(7);
+  CliffordTableau t(1);
+  t.h(0);
+  const unsigned first = t.measure(0, rng);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(t.measure(0, rng), first);
+}
+
+TEST(Tableau, BellCorrelations) {
+  for (int trial = 0; trial < 20; ++trial) {
+    CliffordTableau t(2);
+    RngStream rng(100 + trial);
+    t.h(0);
+    t.cx(0, 1);
+    const unsigned a = t.measure(0, rng);
+    bool det = false;
+    const unsigned b = t.measure(1, rng, &det);
+    EXPECT_TRUE(det);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Tableau, GhzRandomButCorrelated) {
+  int ones = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    CliffordTableau t(3);
+    RngStream rng(500 + trial);
+    t.h(0);
+    t.cx(0, 1);
+    t.cx(1, 2);
+    const unsigned a = t.measure(0, rng);
+    EXPECT_EQ(t.measure(1, rng), a);
+    EXPECT_EQ(t.measure(2, rng), a);
+    ones += a;
+  }
+  EXPECT_NEAR(ones / 400.0, 0.5, 0.08);
+}
+
+TEST(Tableau, NamedGateDispatchRejectsNonClifford) {
+  CliffordTableau t(1);
+  EXPECT_THROW(t.apply_named("t", {0}), precondition_error);
+  EXPECT_TRUE(CliffordTableau::is_clifford_name("cz"));
+  EXPECT_FALSE(CliffordTableau::is_clifford_name("rx"));
+}
+
+TEST(Tableau, CzViaHAndCx) {
+  CliffordTableau t(2);
+  t.h(0);
+  t.h(1);
+  t.cz(0, 1);
+  // |++> under CZ: stabilizers X⊗Z... → XZ and ZX.
+  EXPECT_EQ(t.stabilizer_row(0), "+XZ");
+  EXPECT_EQ(t.stabilizer_row(1), "+ZX");
+}
+
+// --- Pauli-frame sampler --------------------------------------------------
+
+NoisyCircuit bell_with_noise(double p) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(p));
+  return nm.apply(c);
+}
+
+TEST(PauliFrame, SupportsCliffordPauliOnly) {
+  EXPECT_TRUE(PauliFrameSampler::is_supported(bell_with_noise(0.05)));
+  Circuit c(1);
+  c.t(0);
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(0.05));
+  EXPECT_FALSE(PauliFrameSampler::is_supported(nm.apply(c)));
+  Circuit c2(1);
+  c2.h(0);
+  NoiseModel nm2;
+  nm2.add_all_gate_noise(channels::amplitude_damping(0.1));
+  EXPECT_FALSE(PauliFrameSampler::is_supported(nm2.apply(c2)));
+}
+
+TEST(PauliFrame, NoiselessBellIsPerfectlyCorrelated) {
+  const NoisyCircuit noisy = bell_with_noise(0.0);
+  PauliFrameSampler sampler(noisy, RngStream(9));
+  RngStream rng(10);
+  const auto records = sampler.sample(2000, rng);
+  for (std::uint64_t r : records) {
+    const unsigned a = r & 1, b = (r >> 1) & 1;
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PauliFrame, MatchesStatevectorTrajectoriesOnNoisyBell) {
+  // Distribution check: frame sampling vs exact density-matrix marginals
+  // computed via statevector averaging over explicit branch enumeration is
+  // heavy; instead compare to the frame-free expectation: for depolarizing
+  // noise on a Bell pair, P(a != b) is analytically p-dependent; just check
+  // anticorrelation rate is significantly nonzero and < 0.5.
+  const double p = 0.2;
+  const NoisyCircuit noisy = bell_with_noise(p);
+  PauliFrameSampler sampler(noisy, RngStream(11));
+  RngStream rng(12);
+  const auto records = sampler.sample(20000, rng);
+  double mismatch = 0;
+  for (std::uint64_t r : records) mismatch += ((r & 1) != ((r >> 1) & 1));
+  mismatch /= records.size();
+  EXPECT_GT(mismatch, 0.05);
+  EXPECT_LT(mismatch, 0.45);
+}
+
+TEST(PauliFrame, RandomOutcomesAreRandomisedAcrossShots) {
+  // GHZ without noise: each shot must independently land on 000… or 111…
+  // with probability 1/2 — this requires the random initial Z-frame (a
+  // single reference sample alone would freeze the outcome).
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).measure_all();
+  const NoisyCircuit noisy = NoiseModel{}.apply(c);
+  PauliFrameSampler sampler(noisy, RngStream(17));
+  RngStream rng(18);
+  const auto records = sampler.sample(20000, rng);
+  double ones = 0;
+  for (std::uint64_t r : records) {
+    ASSERT_TRUE(r == 0 || r == 0b111) << r;
+    ones += (r == 0b111);
+  }
+  EXPECT_NEAR(ones / records.size(), 0.5, 0.02);
+}
+
+TEST(PauliFrame, AgreesWithDensityMatrixOnCliffordWorkload) {
+  // Full distribution check against exact marginals via the statevector
+  // trajectory route is covered elsewhere; here compare against the
+  // Algorithm-1 statevector baseline on a 4-qubit Clifford+Pauli workload.
+  Circuit c(4);
+  c.h(0).cx(0, 1).s(1).cx(1, 2).cz(2, 3).h(3).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(0.05));
+  const NoisyCircuit noisy = nm.apply(c);
+  PauliFrameSampler sampler(noisy, RngStream(19));
+  RngStream rng_f(20), rng_t(21);
+  const auto frame_records = sampler.sample(40000, rng_f);
+  // Statevector trajectory reference.
+  std::map<std::uint64_t, double> ff, ft;
+  for (auto r : frame_records) ff[r] += 1.0 / frame_records.size();
+  {
+    const auto result = traj::run_statevector(noisy, 40000, rng_t);
+    for (auto r : result.records) ft[r] += 1.0 / result.records.size();
+  }
+  double tvd = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const double a = ff.count(i) ? ff[i] : 0.0;
+    const double b = ft.count(i) ? ft[i] : 0.0;
+    tvd += std::abs(a - b);
+  }
+  EXPECT_LT(tvd / 2, 0.02);
+}
+
+TEST(PauliFrame, ReadoutNoiseFlipsBits) {
+  Circuit c(1);
+  c.measure(0);
+  NoiseModel nm;
+  nm.add_measurement_noise(channels::bit_flip(0.25));
+  const NoisyCircuit noisy = nm.apply(c);
+  ASSERT_TRUE(PauliFrameSampler::is_supported(noisy));
+  PauliFrameSampler sampler(noisy, RngStream(13));
+  RngStream rng(14);
+  const auto records = sampler.sample(40000, rng);
+  double ones = 0;
+  for (std::uint64_t r : records) ones += r & 1;
+  EXPECT_NEAR(ones / records.size(), 0.25, 0.01);
+}
+
+TEST(PauliFrame, BulkEqualsManyIndependentFrames) {
+  // Word-packing must not correlate shots: adjacent shots in one word are
+  // independent — check pairwise mismatch frequency of neighbouring shots
+  // equals 2q(1-q) for a bit-flip channel.
+  Circuit c(1);
+  c.measure(0);
+  NoiseModel nm;
+  nm.add_measurement_noise(channels::bit_flip(0.5));
+  PauliFrameSampler sampler(nm.apply(c), RngStream(15));
+  RngStream rng(16);
+  const auto records = sampler.sample(40000, rng);
+  double mismatch = 0;
+  for (std::size_t i = 0; i + 1 < records.size(); i += 2)
+    mismatch += ((records[i] & 1) != (records[i + 1] & 1));
+  EXPECT_NEAR(mismatch / (records.size() / 2), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ptsbe

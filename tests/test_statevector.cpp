@@ -1,0 +1,219 @@
+// Unit + property tests for the statevector backend: gate kernels against
+// dense matrix algebra, Kraus branches, bulk sampling statistics.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+
+namespace ptsbe {
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_EQ(sv.amplitude(0), (cplx{1, 0}));
+  EXPECT_NEAR(sv.norm2(), 1.0, 1e-14);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector sv(1);
+  sv.apply_gate(gates::H(), std::array{0u});
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - cplx{kInvSqrt2, 0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(sv.amplitude(1) - cplx{kInvSqrt2, 0}), 0.0, 1e-14);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  sv.apply_gate(gates::H(), std::array{0u});
+  sv.apply_gate(gates::CX(), std::array{0u, 1u});
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), kInvSqrt2, 1e-14);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), kInvSqrt2, 1e-14);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 0.0, 1e-14);
+}
+
+TEST(StateVector, CxControlIsFirstListedQubit) {
+  // |q1 q0> = |01> (control q0=1): CX(0→1) flips q1 → |11>.
+  StateVector sv(2);
+  sv.apply_gate(gates::X(), std::array{0u});
+  sv.apply_gate(gates::CX(), std::array{0u, 1u});
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1.0, 1e-14);
+  // And with control q1=0 nothing happens.
+  StateVector sv2(2);
+  sv2.apply_gate(gates::CX(), std::array{1u, 0u});
+  EXPECT_NEAR(std::abs(sv2.amplitude(0b00)), 1.0, 1e-14);
+}
+
+// Property: applying a gate via the kernel equals multiplying the dense
+// full-register matrix, for every qubit placement.
+class KernelVsDense : public ::testing::TestWithParam<unsigned> {};
+
+Matrix embed1(const Matrix& g, unsigned q, unsigned n) {
+  Matrix full = Matrix::identity(1);
+  for (unsigned i = 0; i < n; ++i)
+    full = kron(i == q ? g : gates::I(), full);  // qubit 0 = LSB → rightmost
+  return full;
+}
+
+TEST_P(KernelVsDense, SingleQubitAllPositions) {
+  const unsigned n = 4;
+  const unsigned q = GetParam();
+  const Matrix g = gates::U3(0.7, 0.3, 1.1);
+  // Random-ish initial state via a short circuit.
+  StateVector sv(n);
+  sv.apply_gate(gates::H(), std::array{0u});
+  sv.apply_gate(gates::CX(), std::array{0u, 2u});
+  sv.apply_gate(gates::T(), std::array{2u});
+  sv.apply_gate(gates::RY(0.4), std::array{3u});
+  std::vector<cplx> before(sv.amplitudes().begin(), sv.amplitudes().end());
+  sv.apply_gate(g, std::array{q});
+  const Matrix full = embed1(g, q, n);
+  for (std::uint64_t i = 0; i < sv.dim(); ++i) {
+    cplx want{0, 0};
+    for (std::uint64_t j = 0; j < sv.dim(); ++j) want += full(i, j) * before[j];
+    EXPECT_NEAR(std::abs(sv.amplitude(i) - want), 0.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, KernelVsDense,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(StateVector, TwoQubitKernelMatchesKron) {
+  // CZ is symmetric; use CX on all ordered pairs of a 3-qubit register and
+  // compare against the general k-qubit path (which gathers explicitly).
+  for (unsigned a = 0; a < 3; ++a)
+    for (unsigned b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      StateVector fast(3), slow(3);
+      for (StateVector* sv : {&fast, &slow}) {
+        sv->apply_gate(gates::H(), std::array{0u});
+        sv->apply_gate(gates::H(), std::array{1u});
+        sv->apply_gate(gates::T(), std::array{2u});
+      }
+      fast.apply_gate(gates::CX(), std::array{a, b});
+      // Route via 3-qubit embedding to exercise apply_matrix_k.
+      Matrix g3 = kron(Matrix::identity(2), gates::CX());
+      slow.apply_gate(g3, std::array{a, b, 3u - a - b});
+      for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_NEAR(std::abs(fast.amplitude(i) - slow.amplitude(i)), 0.0, 1e-12)
+            << "pair " << a << "," << b;
+    }
+}
+
+TEST(StateVector, ApplyCircuitMatchesManual) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).z(1);
+  StateVector a(2), b(2);
+  a.apply_circuit(c);
+  b.apply_gate(gates::H(), std::array{0u});
+  b.apply_gate(gates::CX(), std::array{0u, 1u});
+  b.apply_gate(gates::Z(), std::array{1u});
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(a.amplitude(i), b.amplitude(i));
+}
+
+TEST(StateVector, BranchProbabilityMatchesDefinition) {
+  StateVector sv(2);
+  sv.apply_gate(gates::H(), std::array{0u});
+  // K = sqrt(gamma)|0><1| on qubit 0: <psi|K†K|psi> = gamma*P(q0=1) = gamma/2.
+  const double gamma = 0.3;
+  const Matrix k(2, 2, {0.0, std::sqrt(gamma), 0.0, 0.0});
+  EXPECT_NEAR(sv.branch_probability(k, std::array{0u}), gamma / 2, 1e-12);
+}
+
+TEST(StateVector, KrausBranchRenormalizes) {
+  StateVector sv(1);
+  sv.apply_gate(gates::H(), std::array{0u});
+  const double gamma = 0.4;
+  const Matrix k(2, 2, {0.0, std::sqrt(gamma), 0.0, 0.0});
+  const double p = sv.apply_kraus_branch(k, std::array{0u});
+  EXPECT_NEAR(p, gamma / 2, 1e-12);
+  EXPECT_NEAR(sv.norm2(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);  // decayed to |0>
+}
+
+TEST(StateVector, ZeroProbabilityBranchThrows) {
+  StateVector sv(1);  // |0>
+  const Matrix k(2, 2, {0.0, 1.0, 0.0, 0.0});  // |0><1| annihilates |0>
+  EXPECT_THROW((void)sv.apply_kraus_branch(k, std::array{0u}),
+               precondition_error);
+}
+
+TEST(StateVector, ProbabilityOne) {
+  StateVector sv(2);
+  sv.apply_gate(gates::RY(2 * std::acos(std::sqrt(0.3))), std::array{1u});
+  EXPECT_NEAR(sv.probability_one(1), 0.7, 1e-12);
+  EXPECT_NEAR(sv.probability_one(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, ExpectationPauli) {
+  StateVector sv(2);
+  sv.apply_gate(gates::H(), std::array{0u});
+  sv.apply_gate(gates::CX(), std::array{0u, 1u});
+  // Bell state: <XX> = 1, <ZZ> = 1, <ZI> = 0.
+  EXPECT_NEAR(sv.expectation_pauli("XX", std::array{0u, 1u}), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli("ZZ", std::array{0u, 1u}), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation_pauli("ZI", std::array{0u, 1u}), 0.0, 1e-12);
+}
+
+TEST(StateVector, FidelityOfOrthogonalStates) {
+  StateVector a(1), b(1);
+  b.apply_gate(gates::X(), std::array{0u});
+  EXPECT_NEAR(a.fidelity(b), 0.0, 1e-14);
+  EXPECT_NEAR(a.fidelity(a), 1.0, 1e-14);
+}
+
+TEST(StateVector, BulkSamplerMatchesDistribution) {
+  StateVector sv(2);
+  sv.apply_gate(gates::RY(2 * std::asin(std::sqrt(0.2))), std::array{0u});
+  // P(q0=1) = 0.2.
+  RngStream rng(77);
+  const auto shots = sv.sample_shots(50000, rng);
+  double ones = 0;
+  for (std::uint64_t s : shots) ones += s & 1;
+  EXPECT_NEAR(ones / 50000.0, 0.2, 0.01);
+}
+
+TEST(StateVector, BulkSamplerMatchesPerShotSampler) {
+  // Same state, both samplers must agree in distribution.
+  StateVector sv(3);
+  Circuit c(3);
+  c.h(0).cx(0, 1).ry(2, 0.9);
+  sv.apply_circuit(c);
+  RngStream rng_a(5), rng_b(6);
+  std::map<std::uint64_t, double> bulk, single;
+  const std::size_t m = 40000;
+  for (std::uint64_t s : sv.sample_shots(m, rng_a)) bulk[s] += 1.0 / m;
+  for (std::size_t i = 0; i < m; ++i) single[sv.sample_one(rng_b)] += 1.0 / m;
+  for (std::uint64_t idx = 0; idx < 8; ++idx)
+    EXPECT_NEAR(bulk[idx], single[idx], 0.015) << "index " << idx;
+}
+
+TEST(StateVector, SampleCountZero) {
+  StateVector sv(2);
+  RngStream rng(1);
+  EXPECT_TRUE(sv.sample_shots(0, rng).empty());
+}
+
+TEST(ExtractBits, PacksSelectedQubits) {
+  // index bits: q0=1, q1=0, q2=1, q3=1 → 0b1101
+  const std::uint64_t idx = 0b1101;
+  EXPECT_EQ(extract_bits(idx, std::array{0u, 2u}), 0b11u);
+  EXPECT_EQ(extract_bits(idx, std::array{1u, 3u}), 0b10u);
+  EXPECT_EQ(extract_bits(idx, std::array{3u, 0u, 1u}), 0b011u);
+}
+
+TEST(StateVector, RejectsBadConstruction) {
+  EXPECT_THROW(StateVector(0), precondition_error);
+  EXPECT_THROW(StateVector(31), precondition_error);
+}
+
+}  // namespace
+}  // namespace ptsbe
