@@ -26,7 +26,7 @@ double sustained_rate(const ptsbe::NoisyCircuit& noisy, bool tensor_net,
   const auto specs = pts::sample_probabilistic(noisy, opt, rng);
   be::Options exec;
   if (tensor_net) {
-    exec.backend = be::Backend::kTensorNetwork;
+    exec.backend = "mps";
     exec.mps.max_bond = 64;
   }
   WallTimer t;

@@ -40,7 +40,7 @@ int main() {
   be::Result reference;
   for (std::size_t devices : {1u, 2u, 4u, 8u}) {
     be::Options exec;
-    exec.backend = be::Backend::kTensorNetwork;
+    exec.backend = "mps";
     exec.mps.max_bond = 64;
     exec.num_devices = devices;
     WallTimer t;

@@ -53,7 +53,7 @@ void compare(const char* label, const ptsbe::NoisyCircuit& noisy,
       const auto specs = pts::sample_probabilistic(noisy, opt, rng);
       be::Options exec;
       if (tensor_net) {
-        exec.backend = be::Backend::kTensorNetwork;
+        exec.backend = "mps";
         exec.mps.max_bond = 64;
       }
       WallTimer t;

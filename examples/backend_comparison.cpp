@@ -105,7 +105,7 @@ int main() {
     opt.merge_duplicates = true;
     const auto specs = pts::sample_probabilistic(noisy, opt, rng);
     be::Options exec;
-    exec.backend = be::Backend::kTensorNetwork;
+    exec.backend = "mps";
     const auto result = be::execute(noisy, specs, exec);
     std::map<std::uint64_t, double> f;
     for (const auto& b : result.batches)

@@ -47,7 +47,7 @@ int main() {
 
   // --- 3. BE: batched execution ------------------------------------------
   be::Options exec;
-  exec.backend = be::Backend::kStateVector;
+  exec.backend = "statevector";
   const be::Result result = be::execute(noisy, specs, exec);
   std::printf("BE: %llu shots (%.1f%% unique), prep %.3fs sample %.3fs\n",
               static_cast<unsigned long long>(result.total_shots()),

@@ -1,0 +1,359 @@
+#include "ptsbe/core/backend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/densmat/density_matrix.hpp"
+#include "ptsbe/stabilizer/pauli_frame.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+
+namespace ptsbe {
+
+namespace {
+
+/// Branch lookup for one trajectory: site index → assigned branch. Sites
+/// the spec does not list take their channel's default branch.
+std::vector<std::size_t> full_assignment(const NoisyCircuit& noisy,
+                                         const TrajectorySpec& spec) {
+  std::vector<std::size_t> assignment(noisy.num_sites());
+  for (std::size_t i = 0; i < noisy.num_sites(); ++i)
+    assignment[i] = noisy.sites()[i].channel->default_branch();
+  for (const BranchChoice& bc : spec.branches) {
+    PTSBE_REQUIRE(bc.site < noisy.num_sites(), "spec site out of range");
+    PTSBE_REQUIRE(bc.branch < noisy.sites()[bc.site].channel->num_branches(),
+                  "spec branch out of range");
+    assignment[bc.site] = bc.branch;
+  }
+  return assignment;
+}
+
+/// Prepare the trajectory state for `assignment` on `state`; accumulates
+/// the realised probability of every applied branch. Returns false when the
+/// spec is unrealizable at this state (a general-Kraus branch with zero
+/// realised probability — e.g. a second amplitude-damping decay after the
+/// qubit already reached |0⟩); the caller reports realized_probability 0
+/// and no records. Works for any state type exposing apply_gate /
+/// branch_probability / apply_kraus_branch (statevector, MPS, densmat).
+template <typename State>
+bool prepare_state(State& state, const NoisyCircuit& noisy,
+                   const std::vector<std::size_t>& assignment,
+                   double& realized_probability) {
+  const auto apply_site = [&](std::size_t id) {
+    const NoiseSite& site = noisy.sites()[id];
+    const std::size_t branch = assignment[id];
+    const KrausChannel& ch = *site.channel;
+    if (ch.is_unitary_mixture()) {
+      state.apply_gate(ch.unitary(branch), site.qubits);
+      realized_probability *= ch.nominal_probabilities()[branch];
+      return true;
+    }
+    const double p = state.branch_probability(ch.kraus(branch), site.qubits);
+    if (p < 1e-14) {
+      realized_probability = 0.0;
+      return false;
+    }
+    realized_probability *= state.apply_kraus_branch(ch.kraus(branch),
+                                                     site.qubits);
+    return true;
+  };
+  for (std::size_t id : noisy.sites_after(NoiseSite::kBeforeCircuit))
+    if (!apply_site(id)) return false;
+  const auto& ops = noisy.circuit().ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kGate)
+      state.apply_gate(ops[i].matrix, ops[i].qubits);
+    for (std::size_t id : noisy.sites_after(i))
+      if (!apply_site(id)) return false;
+  }
+  return true;
+}
+
+/// Reduce full basis-state indices to measured-bit records.
+std::vector<std::uint64_t> to_records(std::vector<std::uint64_t> shots,
+                                      const std::vector<unsigned>& measured) {
+  if (!measured.empty())
+    for (std::uint64_t& s : shots) s = extract_bits(s, measured);
+  return shots;
+}
+
+/// Bits per shot record for `noisy` (one per measure op; all qubits when
+/// the circuit has none). ShotResult packs records into 64-bit words, so
+/// every backend's supports() declines wider programs instead of silently
+/// truncating.
+std::size_t record_width(const NoisyCircuit& noisy) {
+  const std::size_t measured = noisy.circuit().measured_qubits().size();
+  return measured == 0 ? noisy.num_qubits() : measured;
+}
+
+/// True when no gate op follows a measure op — the terminal-measurement
+/// convention the circuit IR documents. Backends that record outcomes *at*
+/// the measure step (stabilizer) only match the sample-the-final-state
+/// backends on this fragment, so the stabilizer declines violations.
+bool measurements_are_terminal(const Circuit& circuit) {
+  bool seen_measure = false;
+  for (const Operation& op : circuit.ops()) {
+    if (op.kind == OpKind::kMeasure)
+      seen_measure = true;
+    else if (seen_measure)
+      return false;
+  }
+  return true;
+}
+
+/// Shared run() skeleton for the three amplitude-style backends: construct
+/// a state, prepare the trajectory, bulk-sample, reduce to records.
+template <typename State, typename MakeState>
+ShotResult run_prepare_sample(const NoisyCircuit& noisy,
+                              const TrajectorySpec& spec, std::uint64_t shots,
+                              RngStream& rng, const MakeState& make_state) {
+  ShotResult out;
+  const std::vector<std::size_t> assignment = full_assignment(noisy, spec);
+  WallTimer timer;
+  State state = make_state(noisy.num_qubits());
+  const bool realizable =
+      prepare_state(state, noisy, assignment, out.realized_probability);
+  out.prepare_seconds = timer.seconds();
+  timer.reset();
+  if (realizable)
+    out.records = to_records(state.sample_shots(shots, rng),
+                             noisy.circuit().measured_qubits());
+  out.sample_seconds = timer.seconds();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in backends
+// ---------------------------------------------------------------------------
+
+class StatevectorBackend final : public Backend {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override {
+    static const std::string kName = "statevector";
+    return kName;
+  }
+
+  [[nodiscard]] bool supports(const NoisyCircuit& noisy) const override {
+    return noisy.num_qubits() >= 1 && noisy.num_qubits() <= 30 &&
+           record_width(noisy) <= 64;
+  }
+
+  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
+                               const TrajectorySpec& spec,
+                               std::uint64_t shots,
+                               RngStream& rng) const override {
+    return run_prepare_sample<StateVector>(
+        noisy, spec, shots, rng,
+        [](unsigned n) { return StateVector(n); });
+  }
+};
+
+class DensmatBackend final : public Backend {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override {
+    static const std::string kName = "densmat";
+    return kName;
+  }
+
+  [[nodiscard]] bool supports(const NoisyCircuit& noisy) const override {
+    return noisy.num_qubits() >= 1 && noisy.num_qubits() <= 13 &&
+           record_width(noisy) <= 64;
+  }
+
+  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
+                               const TrajectorySpec& spec,
+                               std::uint64_t shots,
+                               RngStream& rng) const override {
+    return run_prepare_sample<DensityMatrix>(
+        noisy, spec, shots, rng,
+        [](unsigned n) { return DensityMatrix(n); });
+  }
+};
+
+class MpsBackend final : public Backend {
+ public:
+  explicit MpsBackend(MpsConfig config) : config_(config) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    static const std::string kName = "mps";
+    return kName;
+  }
+
+  [[nodiscard]] bool supports(const NoisyCircuit& noisy) const override {
+    if (noisy.num_qubits() < 1 || record_width(noisy) > 64) return false;
+    for (const Operation& op : noisy.circuit().ops())
+      if (op.kind == OpKind::kGate && op.arity() > 2) return false;
+    for (const NoiseSite& site : noisy.sites())
+      if (site.channel->arity() > 2) return false;
+    return true;
+  }
+
+  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
+                               const TrajectorySpec& spec,
+                               std::uint64_t shots,
+                               RngStream& rng) const override {
+    return run_prepare_sample<MpsState>(
+        noisy, spec, shots, rng,
+        [this](unsigned n) { return MpsState(n, config_); });
+  }
+
+ private:
+  MpsConfig config_;
+};
+
+/// Backend for the Clifford + Pauli-mixture fragment. The spec's assigned
+/// branches are fixed Pauli operators, so the trajectory is itself a
+/// Clifford circuit: inline each branch as Pauli gates at its site and hand
+/// the result (with zero remaining noise sites) to the word-parallel
+/// PauliFrameSampler, whose random initial Z-frame correctly randomises
+/// non-deterministic measurement outcomes across the bulk shots.
+class StabilizerBackend final : public Backend {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override {
+    static const std::string kName = "stabilizer";
+    return kName;
+  }
+
+  [[nodiscard]] bool supports(const NoisyCircuit& noisy) const override {
+    return noisy.num_qubits() >= 1 && record_width(noisy) <= 64 &&
+           measurements_are_terminal(noisy.circuit()) &&
+           PauliFrameSampler::is_supported(noisy);
+  }
+
+  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
+                               const TrajectorySpec& spec,
+                               std::uint64_t shots,
+                               RngStream& rng) const override {
+    ShotResult out;
+    const std::vector<std::size_t> assignment = full_assignment(noisy, spec);
+
+    WallTimer timer;
+    Circuit derived(noisy.num_qubits());
+    const auto inline_site = [&](std::size_t id) {
+      const NoiseSite& site = noisy.sites()[id];
+      const KrausChannel& ch = *site.channel;
+      const std::size_t branch = assignment[id];
+      std::vector<std::pair<bool, bool>> toggles;
+      PTSBE_REQUIRE(ch.is_unitary_mixture() &&
+                        pauli_toggles(ch.unitary(branch), ch.arity(), toggles),
+                    "stabilizer backend requires Pauli-mixture noise");
+      for (std::size_t k = 0; k < toggles.size(); ++k) {
+        const auto [x, z] = toggles[k];
+        const unsigned q = site.qubits[k];
+        if (x && z)
+          derived.y(q);
+        else if (x)
+          derived.x(q);
+        else if (z)
+          derived.z(q);
+      }
+      out.realized_probability *= ch.nominal_probabilities()[branch];
+    };
+    for (std::size_t id : noisy.sites_after(NoiseSite::kBeforeCircuit))
+      inline_site(id);
+    const auto& ops = noisy.circuit().ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == OpKind::kMeasure) {
+        // Readout-noise sites fire before the record is taken.
+        for (std::size_t id : noisy.sites_after(i)) inline_site(id);
+        derived.measure(ops[i].qubits.front());
+        continue;
+      }
+      derived.gate(ops[i].name, ops[i].matrix, ops[i].qubits, ops[i].params);
+      for (std::size_t id : noisy.sites_after(i)) inline_site(id);
+    }
+    // Zero noise sites remain: the frame sampler's stochastic machinery is
+    // inert and it reduces to reference-run + bulk frame propagation.
+    const PauliFrameSampler sampler(NoiseModel().apply(derived),
+                                    RngStream(rng.bits64()));
+    out.prepare_seconds = timer.seconds();
+    timer.reset();
+    out.records = sampler.sample(shots, rng);
+    out.sample_seconds = timer.seconds();
+    return out;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct BackendRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, BackendFactory> factories;
+};
+
+BackendRegistry::BackendRegistry() : impl_(std::make_shared<Impl>()) {
+  register_backend("statevector", [](const BackendConfig&) -> BackendPtr {
+    return std::make_unique<StatevectorBackend>();
+  });
+  register_backend("densmat", [](const BackendConfig&) -> BackendPtr {
+    return std::make_unique<DensmatBackend>();
+  });
+  register_backend("stabilizer", [](const BackendConfig&) -> BackendPtr {
+    return std::make_unique<StabilizerBackend>();
+  });
+  const auto make_mps = [](const BackendConfig& config) -> BackendPtr {
+    return std::make_unique<MpsBackend>(config.mps);
+  };
+  register_backend("mps", make_mps);
+  // Alias matching the paper's CUDA-Q backend name.
+  register_backend("tensornet", make_mps);
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(const std::string& name,
+                                       BackendFactory factory) {
+  PTSBE_REQUIRE(!name.empty(), "backend name must be non-empty");
+  PTSBE_REQUIRE(static_cast<bool>(factory), "backend factory must be callable");
+  std::lock_guard lock(impl_->mutex);
+  const bool inserted =
+      impl_->factories.emplace(name, std::move(factory)).second;
+  PTSBE_REQUIRE(inserted, "backend name already registered: " + name);
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->factories.count(name) != 0;
+}
+
+BackendPtr BackendRegistry::make(const std::string& name,
+                                 const BackendConfig& config) const {
+  BackendFactory factory;
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->factories.find(name);
+    if (it != impl_->factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream os;
+    os << "unknown backend '" << name << "'; registered backends:";
+    for (const std::string& n : names()) os << ' ' << n;
+    throw precondition_error(os.str());
+  }
+  return factory(config);
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->factories.size());
+  for (const auto& [name, factory] : impl_->factories) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+BackendPtr make_backend(const std::string& name, const BackendConfig& config) {
+  return BackendRegistry::instance().make(name, config);
+}
+
+}  // namespace ptsbe

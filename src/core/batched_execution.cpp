@@ -2,70 +2,11 @@
 
 #include <atomic>
 #include <unordered_set>
+#include <utility>
 
 #include "ptsbe/common/error.hpp"
-#include "ptsbe/common/timer.hpp"
 
 namespace ptsbe::be {
-
-namespace {
-
-/// Branch lookup for one trajectory: site index → assigned branch.
-std::vector<std::size_t> full_assignment(const NoisyCircuit& noisy,
-                                         const TrajectorySpec& spec) {
-  std::vector<std::size_t> assignment(noisy.num_sites());
-  for (std::size_t i = 0; i < noisy.num_sites(); ++i)
-    assignment[i] = noisy.sites()[i].channel->default_branch();
-  for (const BranchChoice& bc : spec.branches) {
-    PTSBE_REQUIRE(bc.site < noisy.num_sites(), "spec site out of range");
-    PTSBE_REQUIRE(bc.branch < noisy.sites()[bc.site].channel->num_branches(),
-                  "spec branch out of range");
-    assignment[bc.site] = bc.branch;
-  }
-  return assignment;
-}
-
-/// Prepare the trajectory state for `spec` on `state`; accumulates the
-/// realised probability of general-Kraus branches. Returns false when the
-/// spec is unrealizable at this state (a general-Kraus branch with zero
-/// realised probability — e.g. a second amplitude-damping decay after the
-/// qubit already reached |0⟩); the caller records an empty batch with
-/// realized_probability 0.
-template <typename State>
-bool prepare_state(State& state, const NoisyCircuit& noisy,
-                   const std::vector<std::size_t>& assignment,
-                   double& realized_probability) {
-  const auto apply_site = [&](std::size_t id) {
-    const NoiseSite& site = noisy.sites()[id];
-    const std::size_t branch = assignment[id];
-    const KrausChannel& ch = *site.channel;
-    if (ch.is_unitary_mixture()) {
-      state.apply_gate(ch.unitary(branch), site.qubits);
-      realized_probability *= ch.nominal_probabilities()[branch];
-      return true;
-    }
-    const double p = state.branch_probability(ch.kraus(branch), site.qubits);
-    if (p < 1e-14) {
-      realized_probability = 0.0;
-      return false;
-    }
-    realized_probability *= state.apply_kraus_branch(ch.kraus(branch),
-                                                     site.qubits);
-    return true;
-  };
-  for (std::size_t id : noisy.sites_after(NoiseSite::kBeforeCircuit))
-    if (!apply_site(id)) return false;
-  const auto& ops = noisy.circuit().ops();
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (ops[i].kind == OpKind::kGate)
-      state.apply_gate(ops[i].matrix, ops[i].qubits);
-    for (std::size_t id : noisy.sites_after(i))
-      if (!apply_site(id)) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 std::uint64_t Result::total_shots() const noexcept {
   std::uint64_t total = 0;
@@ -91,47 +32,37 @@ double unique_fraction(const std::vector<std::uint64_t>& records) {
 Result execute(const NoisyCircuit& noisy,
                const std::vector<TrajectorySpec>& specs,
                const Options& options) {
+  // Resolve the backend by name once; the instance is immutable and its
+  // run() is re-entrant, so every device shares it.
+  BackendConfig config;
+  config.mps = options.mps;
+  const BackendPtr backend = make_backend(options.backend, config);
+  PTSBE_REQUIRE(backend->supports(noisy),
+                "backend '" + options.backend +
+                    "' does not support this program (gate set, channel "
+                    "class or qubit count)");
+
   Result result;
   result.batches.resize(specs.size());
-  const std::vector<unsigned> measured = noisy.circuit().measured_qubits();
   const RngStream master(options.seed);
   const DevicePool pool(options.num_devices);
 
   std::atomic<std::uint64_t> prep_ns{0}, sample_ns{0};
 
   pool.run_batch(specs.size(), [&](std::size_t device_id, std::size_t t) {
-    const TrajectorySpec& spec = specs[t];
     TrajectoryBatch& batch = result.batches[t];
     batch.spec_index = t;
-    batch.spec = spec;
+    batch.spec = specs[t];
     batch.device_id = device_id;
     // Reproducible per-trajectory stream, independent of scheduling.
     RngStream rng = master.substream(t);
-    const std::vector<std::size_t> assignment = full_assignment(noisy, spec);
-
-    WallTimer timer;
-    std::vector<std::uint64_t> shots;
-    if (options.backend == Backend::kStateVector) {
-      StateVector state(noisy.num_qubits());
-      const bool realizable =
-          prepare_state(state, noisy, assignment, batch.realized_probability);
-      prep_ns.fetch_add(timer.nanoseconds(), std::memory_order_relaxed);
-      timer.reset();
-      if (realizable) shots = state.sample_shots(spec.shots, rng);
-      sample_ns.fetch_add(timer.nanoseconds(), std::memory_order_relaxed);
-    } else {
-      MpsState state(noisy.num_qubits(), options.mps);
-      const bool realizable =
-          prepare_state(state, noisy, assignment, batch.realized_probability);
-      prep_ns.fetch_add(timer.nanoseconds(), std::memory_order_relaxed);
-      timer.reset();
-      if (realizable) shots = state.sample_shots(spec.shots, rng);
-      sample_ns.fetch_add(timer.nanoseconds(), std::memory_order_relaxed);
-    }
-    batch.records.resize(shots.size());
-    for (std::size_t i = 0; i < shots.size(); ++i)
-      batch.records[i] =
-          measured.empty() ? shots[i] : extract_bits(shots[i], measured);
+    ShotResult shot = backend->run(noisy, specs[t], specs[t].shots, rng);
+    batch.records = std::move(shot.records);
+    batch.realized_probability = shot.realized_probability;
+    prep_ns.fetch_add(static_cast<std::uint64_t>(shot.prepare_seconds * 1e9),
+                      std::memory_order_relaxed);
+    sample_ns.fetch_add(static_cast<std::uint64_t>(shot.sample_seconds * 1e9),
+                        std::memory_order_relaxed);
   });
 
   result.prepare_seconds = static_cast<double>(prep_ns.load()) * 1e-9;

@@ -14,26 +14,23 @@
 /// metadata on every batch (the paper's third bullet).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ptsbe/common/device_pool.hpp"
 #include "ptsbe/common/rng.hpp"
+#include "ptsbe/core/backend.hpp"
 #include "ptsbe/core/trajectory_spec.hpp"
-#include "ptsbe/statevector/statevector.hpp"
-#include "ptsbe/tensornet/mps.hpp"
 
 namespace ptsbe::be {
 
-/// Which simulator backend prepares and samples the trajectories.
-enum class Backend : std::uint8_t {
-  kStateVector,   ///< Dense 2^n amplitudes (paper's `nvidia` backend analogue).
-  kTensorNetwork  ///< MPS (paper's `tensornet` backend analogue).
-};
-
 /// Execution options.
 struct Options {
-  Backend backend = Backend::kStateVector;
-  /// MPS truncation policy (tensor-network backend only).
+  /// Registry name of the simulator backend that prepares and samples the
+  /// trajectories ("statevector", "densmat", "stabilizer", "mps"/"tensornet",
+  /// or any plugin registered with BackendRegistry).
+  std::string backend = "statevector";
+  /// MPS truncation policy ("mps" backend only).
   MpsConfig mps;
   /// Simulated devices for inter-trajectory parallelism.
   std::size_t num_devices = 1;
@@ -78,11 +75,15 @@ struct Result {
 
 /// Execute `specs` against `noisy` with batched sampling.
 ///
-/// Preparation of one trajectory: start from |0…0⟩, walk the program; at
-/// each noise site apply the spec's branch (default branch when unlisted) —
-/// unitary-mixture branches apply U_k directly, general branches apply
-/// K_k/√p with the realised p accumulated into the batch's importance
-/// weight. Then the spec's full shot budget is drawn in one bulk pass.
+/// The backend named by `options.backend` is resolved once through the
+/// BackendRegistry and shared across all simulated devices; each spec is
+/// one `Backend::run` call (prepare the trajectory once, bulk-draw its shot
+/// budget — unitary-mixture branches apply U_k directly, general branches
+/// apply K_k/√p with the realised p accumulated into the batch's importance
+/// weight).
+///
+/// \throws precondition_error for unknown backend names or programs the
+///         chosen backend does not support.
 [[nodiscard]] Result execute(const NoisyCircuit& noisy,
                              const std::vector<TrajectorySpec>& specs,
                              const Options& options = {});

@@ -101,6 +101,47 @@ void DensityMatrix::apply_unitary(const Matrix& u,
   apply_op_right_dagger(u, qubits);
 }
 
+double DensityMatrix::branch_probability(const Matrix& k,
+                                         std::span<const unsigned> qubits) const {
+  // tr(Aρ) with A = (K†K on the site qubits) ⊗ I = Σ_g Σ_{r,c} A(r,c) ·
+  // ρ(idx_c, idx_r): touches only the aligned blocks of ρ, no copy.
+  const unsigned arity = static_cast<unsigned>(qubits.size());
+  const std::size_t block = std::size_t{1} << arity;
+  PTSBE_REQUIRE(k.rows() == block && k.cols() == block,
+                "Kraus matrix dimension mismatch");
+  const Matrix a = k.dagger() * k;
+  std::vector<unsigned> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t groups = dim_ >> arity;
+  std::vector<std::uint64_t> idx(block);
+  cplx total{0.0, 0.0};
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    std::uint64_t base = g;
+    for (unsigned b = 0; b < arity; ++b) base = insert_zero_bit(base, sorted[b]);
+    for (std::size_t local = 0; local < block; ++local) {
+      std::uint64_t full = base;
+      for (unsigned b = 0; b < arity; ++b)
+        if ((local >> b) & 1u) full |= 1ULL << qubits[b];
+      idx[local] = full;
+    }
+    for (std::size_t r = 0; r < block; ++r)
+      for (std::size_t c = 0; c < block; ++c)
+        total += a(r, c) * rho_[idx[c] * dim_ + idx[r]];
+  }
+  return total.real();
+}
+
+double DensityMatrix::apply_kraus_branch(const Matrix& k,
+                                         std::span<const unsigned> qubits) {
+  apply_op_left(k, qubits);
+  apply_op_right_dagger(k, qubits);
+  const double p = trace_real();
+  PTSBE_REQUIRE(p > 1e-300, "Kraus branch has zero realised probability");
+  const double inv = 1.0 / p;
+  for (cplx& v : rho_) v *= inv;
+  return p;
+}
+
 void DensityMatrix::apply_channel(const KrausChannel& channel,
                                   std::span<const unsigned> qubits) {
   PTSBE_REQUIRE(qubits.size() == channel.arity(),

@@ -38,6 +38,23 @@ class DensityMatrix {
   /// ρ ← U ρ U† for unitary U on `qubits` (first listed = LSB).
   void apply_unitary(const Matrix& u, std::span<const unsigned> qubits);
 
+  /// Alias for apply_unitary matching the state-backend concept
+  /// (apply_gate / branch_probability / apply_kraus_branch) the unified
+  /// Backend adapters prepare trajectories through.
+  void apply_gate(const Matrix& u, std::span<const unsigned> qubits) {
+    apply_unitary(u, qubits);
+  }
+
+  /// tr(K†K ρ) — the realised branch probability of Kraus operator K on
+  /// `qubits` at the current state. Does not modify the state.
+  [[nodiscard]] double branch_probability(const Matrix& k,
+                                          std::span<const unsigned> qubits) const;
+
+  /// Apply one Kraus branch and renormalise: ρ ← K ρ K† / tr(K ρ K†).
+  /// Returns the pre-normalisation trace. A (near-)zero trace is a
+  /// precondition violation (the caller selected an impossible branch).
+  double apply_kraus_branch(const Matrix& k, std::span<const unsigned> qubits);
+
   /// ρ ← Σ_i K_i ρ K_i† for a Kraus channel on `qubits`.
   void apply_channel(const KrausChannel& channel,
                      std::span<const unsigned> qubits);

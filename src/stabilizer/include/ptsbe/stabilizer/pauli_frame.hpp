@@ -15,6 +15,7 @@
 /// why PTSBE exists; this sampler is the baseline that defines the frontier.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ptsbe/common/rng.hpp"
@@ -22,6 +23,12 @@
 #include "ptsbe/stabilizer/tableau.hpp"
 
 namespace ptsbe {
+
+/// If `u` equals a Pauli tensor up to global phase, return true and fill
+/// per-qubit (x, z) toggles (qubit 0 = LSB of the matrix). Shared by the
+/// frame sampler's branch tables and the tableau backend adapter.
+[[nodiscard]] bool pauli_toggles(const Matrix& u, unsigned arity,
+                                 std::vector<std::pair<bool, bool>>& out);
 
 /// Bulk sampler over Pauli frames.
 class PauliFrameSampler {

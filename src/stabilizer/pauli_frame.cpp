@@ -7,10 +7,6 @@
 
 namespace ptsbe {
 
-namespace {
-
-/// If `u` equals a Pauli tensor up to global phase, return true and fill
-/// per-qubit (x, z) toggles (qubit 0 = LSB of the matrix).
 bool pauli_toggles(const Matrix& u, unsigned arity,
                    std::vector<std::pair<bool, bool>>& out) {
   const auto matches = [&](const Matrix& p) {
@@ -54,8 +50,6 @@ bool pauli_toggles(const Matrix& u, unsigned arity,
   }
   return false;
 }
-
-}  // namespace
 
 bool PauliFrameSampler::is_supported(const NoisyCircuit& noisy) {
   for (const Operation& op : noisy.circuit().ops()) {

@@ -148,12 +148,10 @@ double StateVector::branch_probability(const Matrix& k,
     std::uint64_t base = static_cast<std::uint64_t>(g);
     for (unsigned b = 0; b < arity; ++b) base = insert_zero_bit(base, sorted[b]);
     cplx in[4];  // arity <= 2 for channels in this library
-    std::uint64_t idx[4];
     for (std::size_t local = 0; local < dim; ++local) {
       std::uint64_t full = base;
       for (unsigned b = 0; b < arity; ++b)
         if ((local >> b) & 1u) full |= 1ULL << qubits[b];
-      idx[local] = full;
       in[local] = a[full];
     }
     for (std::size_t r = 0; r < dim; ++r) {

@@ -128,8 +128,8 @@ TEST(BatchedExecution, MpsBackendMatchesStatevectorBackend) {
   opt.nshots = 50;
   const auto specs = pts::sample_probabilistic(noisy, opt, rng);
   be::Options sv_opt, mps_opt;
-  sv_opt.backend = be::Backend::kStateVector;
-  mps_opt.backend = be::Backend::kTensorNetwork;
+  sv_opt.backend = "statevector";
+  mps_opt.backend = "mps";
   const auto rv = be::execute(noisy, specs, sv_opt);
   const auto rm = be::execute(noisy, specs, mps_opt);
   ASSERT_EQ(rv.batches.size(), rm.batches.size());

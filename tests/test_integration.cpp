@@ -40,7 +40,7 @@ TEST(Integration, ThirtyFiveQubitEncodedMsdOnMps) {
   const auto specs = pts::sample_probabilistic(noisy, opt, rng);
 
   be::Options exec;
-  exec.backend = be::Backend::kTensorNetwork;
+  exec.backend = "mps";
   exec.mps.max_bond = 64;
   const be::Result result = be::execute(noisy, specs, exec);
   ASSERT_GT(result.total_shots(), 0u);
@@ -191,7 +191,7 @@ TEST(Integration, DatasetRoundTripAtScale) {
   opt.merge_duplicates = true;
   const auto specs = pts::sample_probabilistic(noisy, opt, rng);
   be::Options exec;
-  exec.backend = be::Backend::kTensorNetwork;
+  exec.backend = "mps";
   exec.mps.max_bond = 32;
   const auto result = be::execute(noisy, specs, exec);
   const std::string path = "/tmp/ptsbe_integration_dataset.bin";

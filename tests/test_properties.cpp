@@ -197,7 +197,9 @@ TEST(MpsTruncationProperty, FidelityImprovesWithBondDimension) {
     const double fidelity = std::norm(overlap) / mps.norm2();
     EXPECT_GE(fidelity, previous - 0.02) << "bond " << bond;
     previous = fidelity;
-    if (bond == 16) EXPECT_GT(fidelity, 0.999);
+    if (bond == 16) {
+      EXPECT_GT(fidelity, 0.999);
+    }
   }
 }
 
