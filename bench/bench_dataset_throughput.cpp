@@ -27,7 +27,7 @@ double sustained_rate(const ptsbe::NoisyCircuit& noisy, bool tensor_net,
   be::Options exec;
   if (tensor_net) {
     exec.backend = "mps";
-    exec.mps.max_bond = 64;
+    exec.config.mps.max_bond = 64;
   }
   WallTimer t;
   const auto result = be::execute(noisy, specs, exec);

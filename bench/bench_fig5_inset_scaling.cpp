@@ -41,7 +41,7 @@ int main() {
   for (std::size_t devices : {1u, 2u, 4u, 8u}) {
     be::Options exec;
     exec.backend = "mps";
-    exec.mps.max_bond = 64;
+    exec.config.mps.max_bond = 64;
     exec.num_devices = devices;
     WallTimer t;
     const be::Result result = be::execute(noisy, specs, exec);

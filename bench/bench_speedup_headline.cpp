@@ -8,6 +8,8 @@
 // the batch size until bulk sampling itself dominates.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "ptsbe/common/timer.hpp"
 #include "ptsbe/core/batched_execution.hpp"
@@ -16,6 +18,21 @@
 #include "workloads.hpp"
 
 namespace {
+
+/// One measured row, kept for the machine-readable export that feeds the
+/// perf-trajectory tooling.
+struct Row {
+  std::string workload;
+  std::size_t shots_per_trajectory = 0;
+  double baseline_shots_per_second = 0.0;
+  double ptsbe_shots_per_second = 0.0;
+  double speedup = 0.0;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> all;
+  return all;
+}
 
 void compare(const char* label, const ptsbe::NoisyCircuit& noisy,
              bool tensor_net, std::size_t trajectories,
@@ -54,7 +71,7 @@ void compare(const char* label, const ptsbe::NoisyCircuit& noisy,
       be::Options exec;
       if (tensor_net) {
         exec.backend = "mps";
-        exec.mps.max_bond = 64;
+        exec.config.mps.max_bond = 64;
       }
       WallTimer t;
       const auto result = be::execute(noisy, specs, exec);
@@ -62,12 +79,42 @@ void compare(const char* label, const ptsbe::NoisyCircuit& noisy,
     }
     std::printf("%12zu %16.0f %16.0f %9.1fx\n", batch, base_rate, pts_rate,
                 pts_rate / base_rate);
+    rows().push_back(
+        {label, batch, base_rate, pts_rate, pts_rate / base_rate});
   }
+}
+
+/// Emit every measured row as JSON so the perf trajectory is scriptable
+/// (one object per row; schema mirrors the printed table).
+void write_json(const char* path) {
+  std::FILE* os = std::fopen(path, "w");
+  if (os == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(os, "{\n  \"bench\": \"speedup_headline\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows().size(); ++i) {
+    const Row& r = rows()[i];
+    std::fprintf(os,
+                 "    {\"workload\": \"%s\", \"shots_per_trajectory\": %zu, "
+                 "\"baseline_shots_per_second\": %.1f, "
+                 "\"ptsbe_shots_per_second\": %.1f, \"speedup\": %.3f}%s\n",
+                 r.workload.c_str(), r.shots_per_trajectory,
+                 r.baseline_shots_per_second, r.ptsbe_shots_per_second,
+                 r.speedup, i + 1 < rows().size() ? "," : "");
+  }
+  std::fprintf(os, "  ]\n}\n");
+  const bool ok = std::ferror(os) == 0;
+  if (std::fclose(os) != 0 || !ok) {
+    std::fprintf(stderr, "error while writing %s\n", path);
+    return;
+  }
+  std::printf("\nwrote %s (%zu rows)\n", path, rows().size());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ptsbe;
   compare("statevector: bare 5-qubit MSD", bench::noisy_bare_msd(0.01),
           false, 4, 100000);
@@ -80,5 +127,6 @@ int main() {
       "dominates (statevector: ~linear to 1e5+, matching the paper's 1e6x\n"
       "at 1e6-1e7 shots on the 35-qubit footprint; tensor network: smaller,\n"
       "~16x regime at 1e3 shots).\n");
+  write_json(argc > 1 ? argv[1] : "BENCH_headline.json");
   return 0;
 }

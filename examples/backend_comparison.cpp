@@ -12,8 +12,7 @@
 #include <map>
 
 #include "ptsbe/common/timer.hpp"
-#include "ptsbe/core/batched_execution.hpp"
-#include "ptsbe/core/pts.hpp"
+#include "ptsbe/core/pipeline.hpp"
 #include "ptsbe/densmat/density_matrix.hpp"
 #include "ptsbe/noise/channels.hpp"
 #include "ptsbe/stabilizer/pauli_frame.hpp"
@@ -79,37 +78,30 @@ int main() {
                 "algorithm-1 baseline", t.seconds(),
                 tvd(freq(result.records), exact), result.records.size());
   }
+  // PTSBE rows: the same pipeline with the backend swapped by name — the
+  // whole point of the facade. Same seed → same PTS specs for both.
+  pts::StrategyConfig cfg;
+  cfg.nsamples = total / 40;
+  cfg.nshots = 40;
+  Pipeline pipeline(noisy);
+  pipeline.strategy("probabilistic", cfg).seed(4);
   {  // PTSBE, statevector backend.
     WallTimer t;
-    RngStream rng(4);
-    pts::Options opt;
-    opt.nsamples = total / 40;
-    opt.nshots = 40;
-    opt.merge_duplicates = true;
-    const auto specs = pts::sample_probabilistic(noisy, opt, rng);
-    const auto result = be::execute(noisy, specs);
+    const RunResult run = pipeline.backend("statevector").run();
     std::map<std::uint64_t, double> f;
-    for (const auto& b : result.batches)
-      for (auto r : b.records) f[r] += 1.0 / result.total_shots();
+    for (const auto& b : run.result.batches)
+      for (auto r : b.records) f[r] += 1.0 / run.result.total_shots();
     std::printf("%-26s %10.3f %8.4f  (%zu preps for %llu shots)\n",
                 "PTSBE statevector", t.seconds(), tvd(f, exact),
-                result.batches.size(),
-                static_cast<unsigned long long>(result.total_shots()));
+                run.result.batches.size(),
+                static_cast<unsigned long long>(run.result.total_shots()));
   }
   {  // PTSBE, MPS tensor-network backend.
     WallTimer t;
-    RngStream rng(4);  // same seed → same specs as above
-    pts::Options opt;
-    opt.nsamples = total / 40;
-    opt.nshots = 40;
-    opt.merge_duplicates = true;
-    const auto specs = pts::sample_probabilistic(noisy, opt, rng);
-    be::Options exec;
-    exec.backend = "mps";
-    const auto result = be::execute(noisy, specs, exec);
+    const RunResult run = pipeline.backend("mps").run();
     std::map<std::uint64_t, double> f;
-    for (const auto& b : result.batches)
-      for (auto r : b.records) f[r] += 1.0 / result.total_shots();
+    for (const auto& b : run.result.batches)
+      for (auto r : b.records) f[r] += 1.0 / run.result.total_shots();
     std::printf("%-26s %10.3f %8.4f\n", "PTSBE tensor network", t.seconds(),
                 tvd(f, exact));
   }

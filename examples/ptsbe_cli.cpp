@@ -1,0 +1,168 @@
+// ptsbe_cli — the "config file / CLI selects components by name" promise of
+// the registries, end to end: every pipeline stage (PTS strategy, simulator
+// backend, shot budgets, devices, seed) is chosen by command-line flag and
+// wired through the ptsbe::Pipeline facade. No flag maps to a type; strategy
+// and backend are plain registry names, so a plugin registered at startup is
+// immediately scriptable here.
+//
+// Workload: an n-qubit GHZ circuit with depolarizing gate noise and
+// bit-flip readout noise — small enough for every backend, noisy enough for
+// every strategy to have something to sample.
+//
+//   ptsbe_cli --list
+//   ptsbe_cli --strategy band --p-min 1e-6 --p-max 1e-2 --backend mps
+//   ptsbe_cli --strategy enumerate --cutoff 1e-5 --devices 8 --seed 7
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ptsbe/core/pipeline.hpp"
+#include "ptsbe/noise/channels.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --list                 print registered strategies/backends and exit\n"
+      "  --strategy NAME        PTS strategy registry name [probabilistic]\n"
+      "  --backend NAME         simulator backend registry name [statevector]\n"
+      "  --qubits N             GHZ workload width [6]\n"
+      "  --noise P              depolarizing probability per gate [0.01]\n"
+      "  --nsamples N           candidate trajectory draws [2000]\n"
+      "  --nshots N             shots per surviving trajectory [500]\n"
+      "  --devices N            simulated devices [1]\n"
+      "  --seed S               master seed for PTS and BE [42]\n"
+      "  --cutoff P             'enumerate' probability cutoff [1e-6]\n"
+      "  --p-min P --p-max P    'band' probability window [0, 1]\n"
+      "  --boost B --radius R   'correlated' burst parameters [4, 1]\n"
+      "  --csv PATH             export the labelled shots as CSV\n"
+      "  --binary PATH          export the labelled shots as PTSB binary\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptsbe;
+
+  std::string strategy = "probabilistic";
+  std::string backend = "statevector";
+  std::string csv_path, binary_path;
+  unsigned qubits = 6;
+  double noise_p = 0.01;
+  std::size_t devices = 1;
+  std::uint64_t seed = 42;
+  pts::StrategyConfig cfg;
+  cfg.nsamples = 2000;
+  cfg.nshots = 500;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--list") {
+      std::printf("strategies:");
+      for (const auto& n : pts::StrategyRegistry::instance().names())
+        std::printf(" %s", n.c_str());
+      std::printf("\nbackends:  ");
+      for (const auto& n : BackendRegistry::instance().names())
+        std::printf(" %s", n.c_str());
+      std::printf("\n");
+      return 0;
+    } else if (arg == "--strategy") {
+      strategy = value();
+    } else if (arg == "--backend") {
+      backend = value();
+    } else if (arg == "--qubits") {
+      qubits = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--noise") {
+      noise_p = std::strtod(value(), nullptr);
+    } else if (arg == "--nsamples") {
+      cfg.nsamples = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--nshots") {
+      cfg.nshots = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--devices") {
+      devices = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--cutoff") {
+      cfg.probability_cutoff = std::strtod(value(), nullptr);
+    } else if (arg == "--p-min") {
+      cfg.p_min = std::strtod(value(), nullptr);
+    } else if (arg == "--p-max") {
+      cfg.p_max = std::strtod(value(), nullptr);
+    } else if (arg == "--boost") {
+      cfg.boost = std::strtod(value(), nullptr);
+    } else if (arg == "--radius") {
+      cfg.radius = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else if (arg == "--binary") {
+      binary_path = value();
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    // The GHZ workload (constructed inside the try: bad --qubits/--noise
+    // values surface on the same friendly error path as bad names).
+    Circuit circuit(qubits);
+    circuit.h(0);
+    for (unsigned q = 0; q + 1 < qubits; ++q) circuit.cx(q, q + 1);
+    circuit.measure_all();
+    NoiseModel noise;
+    noise.add_all_gate_noise(channels::depolarizing(noise_p));
+    noise.add_measurement_noise(channels::bit_flip(noise_p / 2));
+
+    const RunResult run = Pipeline(circuit, noise)
+                              .strategy(strategy, cfg)
+                              .backend(backend)
+                              .devices(devices)
+                              .seed(seed)
+                              .run();
+
+    std::printf("pipeline: strategy=%s backend=%s devices=%zu seed=%llu\n",
+                run.strategy.c_str(), run.backend.c_str(), devices,
+                static_cast<unsigned long long>(seed));
+    std::printf("specs=%zu shots=%llu prep=%.3fs sample=%.3fs\n", run.num_specs,
+                static_cast<unsigned long long>(run.result.total_shots()),
+                run.result.prepare_seconds, run.result.sample_seconds);
+
+    const std::uint64_t mask = (qubits >= 64) ? ~0ULL : (1ULL << qubits) - 1;
+    const be::Estimate parity = run.estimate_z_parity(mask);
+    const be::Estimate p_zero =
+        run.estimate_probability([](std::uint64_t r) { return r == 0; });
+    std::printf("<Z...Z>        = %+.4f +/- %.4f (weight %.3e)\n", parity.value,
+                parity.std_error, parity.total_weight);
+    std::printf("P(all zeros)   = %+.4f +/- %.4f\n", p_zero.value,
+                p_zero.std_error);
+
+    if (!csv_path.empty()) {
+      run.to_csv(csv_path);
+      std::printf("wrote %s\n", csv_path.c_str());
+    }
+    if (!binary_path.empty()) {
+      run.to_binary(binary_path);
+      std::printf("wrote %s\n", binary_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    // Unknown registry names land here with a message listing what exists.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,8 @@
 // Quickstart: the PTSBE pipeline end to end on a small noisy circuit.
 //
 //   1. Build a coherent circuit and bind a noise model  → NoisyCircuit
-//   2. Pre-Trajectory Sampling (Algorithm 2)            → TrajectorySpecs
-//   3. Batched Execution                                → labelled shots
+//   2+3. One Pipeline call: PTS (Algorithm 2) → Batched Execution,
+//        with the strategy and backend selected by registry name
 //
 // Compare against the conventional per-shot trajectory baseline and the
 // exact density matrix to see that all three agree — and that PTSBE knows
@@ -11,8 +11,7 @@
 #include <cstdio>
 #include <map>
 
-#include "ptsbe/core/batched_execution.hpp"
-#include "ptsbe/core/pts.hpp"
+#include "ptsbe/core/pipeline.hpp"
 #include "ptsbe/densmat/density_matrix.hpp"
 #include "ptsbe/noise/channels.hpp"
 #include "ptsbe/trajectory/trajectory.hpp"
@@ -30,29 +29,33 @@ int main() {
   NoiseModel noise;
   noise.add_all_gate_noise(channels::depolarizing(0.02));
   noise.add_measurement_noise(channels::bit_flip(0.01));
-  const NoisyCircuit noisy = noise.apply(circuit);
+
+  // --- 2+3. PTS → BE through the Pipeline facade -------------------------
+  Pipeline pipeline(circuit, noise);
+  const NoisyCircuit& noisy = pipeline.program();
   std::printf("program: %u qubits, %zu gates, %zu noise sites\n", n,
               circuit.gate_count(), noisy.num_sites());
 
-  // --- 2. PTS: pre-sample trajectories (Algorithm 2) ---------------------
-  RngStream rng(42);
-  pts::Options opt;
-  opt.nsamples = 2000;        // candidate draws
-  opt.nshots = 1000;          // batched shots per surviving trajectory
-  opt.merge_duplicates = true;
-  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
-  std::printf("PTS: %zu unique trajectory specs, %llu total shots\n",
-              specs.size(),
-              static_cast<unsigned long long>(total_shots(specs)));
-
-  // --- 3. BE: batched execution ------------------------------------------
-  be::Options exec;
-  exec.backend = "statevector";
-  const be::Result result = be::execute(noisy, specs, exec);
-  std::printf("BE: %llu shots (%.1f%% unique), prep %.3fs sample %.3fs\n",
+  pts::StrategyConfig cfg;
+  cfg.nsamples = 2000;  // candidate draws (Algorithm 2)
+  cfg.nshots = 1000;    // batched shots per surviving trajectory
+  const RunResult run = pipeline.strategy("probabilistic", cfg)
+                            .backend("statevector")
+                            .seed(42)
+                            .run();
+  const be::Result& result = run.result;
+  std::printf("PTS (%s): %zu unique trajectory specs\n", run.strategy.c_str(),
+              run.num_specs);
+  std::printf("BE (%s): %llu shots (%.1f%% unique), prep %.3fs sample %.3fs\n",
+              run.backend.c_str(),
               static_cast<unsigned long long>(result.total_shots()),
               100.0 * result.unique_shot_fraction(), result.prepare_seconds,
               result.sample_seconds);
+
+  // The strategy declared its estimator weighting, so estimates cannot be
+  // mispaired with the sampling scheme.
+  const be::Estimate parity = run.estimate_z_parity((1ULL << n) - 1);
+  std::printf("<Z...Z> = %.4f +/- %.4f\n", parity.value, parity.std_error);
 
   // Error provenance: every batch knows exactly which Kraus branches fired.
   std::printf("\nfirst three trajectory batches and their error labels:\n");

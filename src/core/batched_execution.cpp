@@ -1,6 +1,7 @@
 #include "ptsbe/core/batched_execution.hpp"
 
 #include <atomic>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 
@@ -29,28 +30,31 @@ double unique_fraction(const std::vector<std::uint64_t>& records) {
          static_cast<double>(records.size());
 }
 
-Result execute(const NoisyCircuit& noisy,
-               const std::vector<TrajectorySpec>& specs,
-               const Options& options) {
+StreamSummary execute_streaming(const NoisyCircuit& noisy,
+                                const std::vector<TrajectorySpec>& specs,
+                                const Options& options, const BatchSink& sink) {
+  PTSBE_REQUIRE(static_cast<bool>(sink), "streaming execution needs a sink");
   // Resolve the backend by name once; the instance is immutable and its
   // run() is re-entrant, so every device shares it.
-  BackendConfig config;
-  config.mps = options.mps;
-  const BackendPtr backend = make_backend(options.backend, config);
+  const BackendPtr backend = make_backend(options.backend, options.config);
   PTSBE_REQUIRE(backend->supports(noisy),
                 "backend '" + options.backend +
                     "' does not support this program (gate set, channel "
                     "class or qubit count)");
 
-  Result result;
-  result.batches.resize(specs.size());
   const RngStream master(options.seed);
   const DevicePool pool(options.num_devices);
 
-  std::atomic<std::uint64_t> prep_ns{0}, sample_ns{0};
+  StreamSummary summary;
+  std::mutex sink_mutex;
+  // Once any sink call throws, pending trajectories are skipped before
+  // their (expensive) preparation instead of simulated-and-dropped;
+  // DevicePool rethrows the first exception after the devices drain.
+  std::atomic<bool> sink_failed{false};
 
   pool.run_batch(specs.size(), [&](std::size_t device_id, std::size_t t) {
-    TrajectoryBatch& batch = result.batches[t];
+    if (sink_failed.load(std::memory_order_acquire)) return;
+    TrajectoryBatch batch;
     batch.spec_index = t;
     batch.spec = specs[t];
     batch.device_id = device_id;
@@ -59,14 +63,37 @@ Result execute(const NoisyCircuit& noisy,
     ShotResult shot = backend->run(noisy, specs[t], specs[t].shots, rng);
     batch.records = std::move(shot.records);
     batch.realized_probability = shot.realized_probability;
-    prep_ns.fetch_add(static_cast<std::uint64_t>(shot.prepare_seconds * 1e9),
-                      std::memory_order_relaxed);
-    sample_ns.fetch_add(static_cast<std::uint64_t>(shot.sample_seconds * 1e9),
-                        std::memory_order_relaxed);
+
+    std::lock_guard lock(sink_mutex);
+    if (sink_failed.load(std::memory_order_relaxed)) return;
+    summary.num_batches += 1;
+    summary.total_shots += batch.records.size();
+    summary.prepare_seconds += shot.prepare_seconds;
+    summary.sample_seconds += shot.sample_seconds;
+    try {
+      sink(std::move(batch));
+    } catch (...) {
+      sink_failed.store(true, std::memory_order_release);
+      throw;
+    }
   });
 
-  result.prepare_seconds = static_cast<double>(prep_ns.load()) * 1e-9;
-  result.sample_seconds = static_cast<double>(sample_ns.load()) * 1e-9;
+  return summary;
+}
+
+Result execute(const NoisyCircuit& noisy,
+               const std::vector<TrajectorySpec>& specs,
+               const Options& options) {
+  // The non-streaming path is a materialising sink over the streaming one:
+  // batches land at their spec index, restoring spec order.
+  Result result;
+  result.batches.resize(specs.size());
+  const StreamSummary summary = execute_streaming(
+      noisy, specs, options, [&result](TrajectoryBatch&& batch) {
+        result.batches[batch.spec_index] = std::move(batch);
+      });
+  result.prepare_seconds = summary.prepare_seconds;
+  result.sample_seconds = summary.sample_seconds;
   return result;
 }
 

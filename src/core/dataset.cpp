@@ -1,6 +1,7 @@
 #include "ptsbe/core/dataset.hpp"
 
 #include <cstdint>
+#include <exception>
 #include <fstream>
 
 #include "ptsbe/common/error.hpp"
@@ -25,6 +26,28 @@ T get(std::ifstream& is) {
   return v;
 }
 
+/// One batch block — the single serialisation point shared by the bulk and
+/// streaming writers.
+void put_batch(std::ofstream& os, const be::TrajectoryBatch& batch) {
+  put(os, static_cast<std::uint64_t>(batch.spec_index));
+  put(os, static_cast<std::uint64_t>(batch.device_id));
+  put(os, batch.spec.nominal_probability);
+  put(os, batch.realized_probability);
+  put(os, static_cast<std::uint64_t>(batch.spec.shots));
+  put(os, static_cast<std::uint64_t>(batch.spec.branches.size()));
+  for (const BranchChoice& bc : batch.spec.branches) {
+    put(os, static_cast<std::uint64_t>(bc.site));
+    put(os, static_cast<std::uint64_t>(bc.branch));
+  }
+  put(os, static_cast<std::uint64_t>(batch.records.size()));
+  os.write(reinterpret_cast<const char*>(batch.records.data()),
+           static_cast<std::streamsize>(batch.records.size() *
+                                        sizeof(std::uint64_t)));
+}
+
+/// Byte offset of the header's batch-count field (after magic + version).
+constexpr std::streamoff kBatchCountOffset = 4 + sizeof(kVersion);
+
 }  // namespace
 
 void write_csv(const std::string& path, const be::Result& result) {
@@ -47,28 +70,48 @@ void write_csv(const std::string& path, const be::Result& result) {
 }
 
 void write_binary(const std::string& path, const be::Result& result) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw runtime_failure("cannot open '" + path + "' for writing");
-  os.write(kMagic, 4);
-  put(os, kVersion);
-  put(os, static_cast<std::uint64_t>(result.batches.size()));
-  for (const be::TrajectoryBatch& batch : result.batches) {
-    put(os, static_cast<std::uint64_t>(batch.spec_index));
-    put(os, static_cast<std::uint64_t>(batch.device_id));
-    put(os, batch.spec.nominal_probability);
-    put(os, batch.realized_probability);
-    put(os, static_cast<std::uint64_t>(batch.spec.shots));
-    put(os, static_cast<std::uint64_t>(batch.spec.branches.size()));
-    for (const BranchChoice& bc : batch.spec.branches) {
-      put(os, static_cast<std::uint64_t>(bc.site));
-      put(os, static_cast<std::uint64_t>(bc.branch));
-    }
-    put(os, static_cast<std::uint64_t>(batch.records.size()));
-    os.write(reinterpret_cast<const char*>(batch.records.data()),
-             static_cast<std::streamsize>(batch.records.size() *
-                                          sizeof(std::uint64_t)));
+  StreamWriter writer(path);
+  for (const be::TrajectoryBatch& batch : result.batches) writer.append(batch);
+  writer.close();
+}
+
+StreamWriter::StreamWriter(const std::string& path)
+    : path_(path),
+      os_(path, std::ios::binary),
+      uncaught_at_open_(std::uncaught_exceptions()) {
+  if (!os_) throw runtime_failure("cannot open '" + path + "' for writing");
+  os_.write(kMagic, 4);
+  put(os_, kVersion);
+  put(os_, std::uint64_t{0});  // batch count, patched by close()
+  if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
+}
+
+StreamWriter::~StreamWriter() {
+  // Unwinding from an aborted run: leave the header count 0 so the partial
+  // file reads as incomplete rather than as a smaller complete corpus.
+  if (std::uncaught_exceptions() > uncaught_at_open_) return;
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; the file is left invalid, as documented.
   }
-  if (!os) throw runtime_failure("error while writing '" + path + "'");
+}
+
+void StreamWriter::append(const be::TrajectoryBatch& batch) {
+  PTSBE_REQUIRE(!closed_, "StreamWriter is closed");
+  put_batch(os_, batch);
+  if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
+  ++count_;
+}
+
+void StreamWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_.seekp(kBatchCountOffset);
+  put(os_, count_);
+  os_.flush();
+  if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
+  os_.close();
 }
 
 be::Result read_binary(const std::string& path) {

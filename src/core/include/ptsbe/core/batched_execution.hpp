@@ -14,6 +14,7 @@
 /// metadata on every batch (the paper's third bullet).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,8 +31,10 @@ struct Options {
   /// trajectories ("statevector", "densmat", "stabilizer", "mps"/"tensornet",
   /// or any plugin registered with BackendRegistry).
   std::string backend = "statevector";
-  /// MPS truncation policy ("mps" backend only).
-  MpsConfig mps;
+  /// Tuning knobs forwarded verbatim to the backend factory (e.g.
+  /// `config.mps` for the MPS truncation policy). Embedding the whole
+  /// BackendConfig means new backend knobs need no Options edits.
+  BackendConfig config;
   /// Simulated devices for inter-trajectory parallelism.
   std::size_t num_devices = 1;
   /// Master seed; trajectory t uses substream (t+1) so results are
@@ -73,6 +76,22 @@ struct Result {
   [[nodiscard]] double unique_shot_fraction() const;
 };
 
+/// Consumer of completed trajectory batches on the streaming path. The
+/// executor invokes the sink from worker threads but **serialises the
+/// calls** (at most one in flight), so sinks need no locking of their own.
+/// The sink owns the batch it receives.
+using BatchSink = std::function<void(TrajectoryBatch&&)>;
+
+/// Aggregate accounting for a streaming run — everything `Result` carries
+/// except the record payload, which has already been handed to the sink.
+struct StreamSummary {
+  std::size_t num_batches = 0;
+  std::uint64_t total_shots = 0;
+  /// Wall-clock split (seconds): state preparations vs bulk sampling.
+  double prepare_seconds = 0.0;
+  double sample_seconds = 0.0;
+};
+
 /// Execute `specs` against `noisy` with batched sampling.
 ///
 /// The backend named by `options.backend` is resolved once through the
@@ -87,6 +106,23 @@ struct Result {
 [[nodiscard]] Result execute(const NoisyCircuit& noisy,
                              const std::vector<TrajectorySpec>& specs,
                              const Options& options = {});
+
+/// Streaming variant of `execute`: each `TrajectoryBatch` is delivered to
+/// `sink` as its device finishes, in **completion order** (use
+/// `TrajectoryBatch::spec_index` to recover spec order; with one device
+/// completion order equals spec order). Per-trajectory randomness is the
+/// same substream scheme as `execute`, so the batches are bit-identical to
+/// the non-streaming path's — only the delivery changes. Records never
+/// accumulate in a `Result`, so dataset generation over huge spec sets runs
+/// in bounded memory.
+///
+/// \throws precondition_error for unknown backend names or unsupported
+///         programs; an exception thrown by `sink` propagates to the
+///         caller — trajectories already in flight complete (their batches
+///         are dropped), pending ones are skipped before preparation.
+StreamSummary execute_streaming(const NoisyCircuit& noisy,
+                                const std::vector<TrajectorySpec>& specs,
+                                const Options& options, const BatchSink& sink);
 
 /// Unique fraction over an arbitrary record set (helper for benches).
 [[nodiscard]] double unique_fraction(const std::vector<std::uint64_t>& records);

@@ -12,6 +12,7 @@
 ///  - binary — compact columnar blocks, one per trajectory batch, suitable
 ///    for the trillion-shot-scale corpora the paper reports.
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,8 +27,56 @@ namespace ptsbe::dataset {
 void write_csv(const std::string& path, const be::Result& result);
 
 /// Write a BE result as the compact binary format (magic "PTSB", version 1).
+/// Implemented on top of `StreamWriter`, so the two paths cannot diverge:
+/// streaming a result batch-by-batch produces a byte-identical file.
 /// \throws runtime_failure when the file cannot be written.
 void write_binary(const std::string& path, const be::Result& result);
+
+/// Incremental writer for the binary format — the dataset end of the
+/// streaming pipeline (`be::execute_streaming`'s sink appends each batch as
+/// it completes, so a trillion-shot corpus is exported without ever holding
+/// a full `be::Result` in memory). The batch count in the header is patched
+/// in by `close()` (or the destructor on *normal* scope exit); when the
+/// writer is destroyed during exception unwinding — an aborted streaming
+/// run — the header count stays 0, so the partial file can never be
+/// mistaken for a complete corpus. Not thread-safe on its own, but
+/// `execute_streaming` serialises sink calls, so `append` needs no
+/// external locking there.
+class StreamWriter {
+ public:
+  /// Open `path` and write the dataset header.
+  /// \throws runtime_failure when the file cannot be opened.
+  explicit StreamWriter(const std::string& path);
+
+  /// On normal scope exit: closes best-effort (errors are swallowed — call
+  /// `close()` to observe them). During exception unwinding: leaves the
+  /// header unpatched, marking the file incomplete.
+  ~StreamWriter();
+
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  /// Append one trajectory batch block (zero-probability unrealizable
+  /// batches round-trip like any other: empty record payload, weight 0).
+  /// \throws runtime_failure on write errors or after close().
+  void append(const be::TrajectoryBatch& batch);
+
+  /// Patch the header's batch count and flush. Idempotent.
+  /// \throws runtime_failure on write errors.
+  void close();
+
+  /// Batches appended so far.
+  [[nodiscard]] std::uint64_t batches_written() const noexcept {
+    return count_;
+  }
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+  int uncaught_at_open_ = 0;
+};
 
 /// Read a binary dataset back (round-trip of write_binary; prepare/sample
 /// timings are not persisted).

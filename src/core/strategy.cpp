@@ -1,0 +1,209 @@
+#include "ptsbe/core/strategy.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::pts {
+
+namespace {
+
+/// A SiteFilter with no criteria set admits everything; skip the per-branch
+/// filter calls entirely in that (common) case.
+const SiteFilter* effective_filter(const StrategyConfig& config) {
+  const SiteFilter& f = config.site_filter;
+  const bool trivial =
+      !f.gate_name.has_value() && !f.qubits.has_value() && !f.predicate;
+  return trivial ? nullptr : &f;
+}
+
+/// CRTP-free helper: the built-ins differ only in name, weighting and the
+/// free function they delegate to.
+class NamedStrategy : public Strategy {
+ public:
+  NamedStrategy(std::string name, be::Weighting weighting)
+      : name_(std::move(name)), weighting_(weighting) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] be::Weighting weighting() const noexcept override {
+    return weighting_;
+  }
+
+ private:
+  std::string name_;
+  be::Weighting weighting_;
+};
+
+class ProbabilisticStrategy final : public NamedStrategy {
+ public:
+  ProbabilisticStrategy()
+      : NamedStrategy("probabilistic", be::Weighting::kDrawWeighted) {}
+
+  [[nodiscard]] std::vector<TrajectorySpec> sample(
+      const NoisyCircuit& noisy, const StrategyConfig& config,
+      RngStream& rng) const override {
+    // Draw-weighted estimation needs shot budgets ∝ draw frequency, so
+    // merging is forced regardless of the config (Algorithm 2's discard
+    // semantics remain available via pts::sample_probabilistic directly).
+    Options options = config.options();
+    options.merge_duplicates = true;
+    return sample_probabilistic(noisy, options, rng,
+                                effective_filter(config));
+  }
+};
+
+class ProportionalStrategy final : public NamedStrategy {
+ public:
+  ProportionalStrategy()
+      : NamedStrategy("proportional", be::Weighting::kDrawWeighted) {}
+
+  [[nodiscard]] std::vector<TrajectorySpec> sample(
+      const NoisyCircuit& noisy, const StrategyConfig& config,
+      RngStream& rng) const override {
+    const std::uint64_t total =
+        config.total_shots != 0
+            ? config.total_shots
+            : static_cast<std::uint64_t>(config.nsamples) * config.nshots;
+    return redistribute_proportional(
+        sample_probabilistic(noisy, config.options(), rng,
+                             effective_filter(config)),
+        total);
+  }
+};
+
+class BandStrategy final : public NamedStrategy {
+ public:
+  BandStrategy() : NamedStrategy("band", be::Weighting::kProbabilityWeighted) {}
+
+  [[nodiscard]] std::vector<TrajectorySpec> sample(
+      const NoisyCircuit& noisy, const StrategyConfig& config,
+      RngStream& rng) const override {
+    return filter_band(sample_probabilistic(noisy, config.options(), rng,
+                                            effective_filter(config)),
+                       config.p_min, config.p_max);
+  }
+};
+
+class EnumerateStrategy final : public NamedStrategy {
+ public:
+  EnumerateStrategy()
+      : NamedStrategy("enumerate", be::Weighting::kProbabilityWeighted) {}
+
+  [[nodiscard]] std::vector<TrajectorySpec> sample(
+      const NoisyCircuit& noisy, const StrategyConfig& config,
+      RngStream& /*rng*/) const override {
+    return enumerate_most_likely(noisy, config.probability_cutoff,
+                                 config.nshots, config.max_results);
+  }
+};
+
+class TwirlStrategy final : public NamedStrategy {
+ public:
+  TwirlStrategy()
+      : NamedStrategy("twirl", be::Weighting::kProbabilityWeighted) {}
+
+  [[nodiscard]] std::vector<TrajectorySpec> sample(
+      const NoisyCircuit& noisy, const StrategyConfig& config,
+      RngStream& rng) const override {
+    return sample_pauli_twirled(noisy, config.options(), rng);
+  }
+};
+
+class CorrelatedStrategy final : public NamedStrategy {
+ public:
+  CorrelatedStrategy()
+      : NamedStrategy("correlated", be::Weighting::kProbabilityWeighted) {}
+
+  [[nodiscard]] std::vector<TrajectorySpec> sample(
+      const NoisyCircuit& noisy, const StrategyConfig& config,
+      RngStream& rng) const override {
+    return sample_spatially_correlated(noisy, config.options(), rng,
+                                       config.boost, config.radius);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct StrategyRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, StrategyFactory> factories;
+};
+
+StrategyRegistry::StrategyRegistry() : impl_(std::make_shared<Impl>()) {
+  register_strategy("probabilistic", []() -> StrategyPtr {
+    return std::make_unique<ProbabilisticStrategy>();
+  });
+  register_strategy("proportional", []() -> StrategyPtr {
+    return std::make_unique<ProportionalStrategy>();
+  });
+  register_strategy(
+      "band", []() -> StrategyPtr { return std::make_unique<BandStrategy>(); });
+  register_strategy("enumerate", []() -> StrategyPtr {
+    return std::make_unique<EnumerateStrategy>();
+  });
+  register_strategy(
+      "twirl", []() -> StrategyPtr { return std::make_unique<TwirlStrategy>(); });
+  register_strategy("correlated", []() -> StrategyPtr {
+    return std::make_unique<CorrelatedStrategy>();
+  });
+}
+
+StrategyRegistry& StrategyRegistry::instance() {
+  static StrategyRegistry registry;
+  return registry;
+}
+
+void StrategyRegistry::register_strategy(const std::string& name,
+                                         StrategyFactory factory) {
+  PTSBE_REQUIRE(!name.empty(), "strategy name must be non-empty");
+  PTSBE_REQUIRE(static_cast<bool>(factory),
+                "strategy factory must be callable");
+  std::lock_guard lock(impl_->mutex);
+  const bool inserted =
+      impl_->factories.emplace(name, std::move(factory)).second;
+  PTSBE_REQUIRE(inserted, "strategy name already registered: " + name);
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->factories.count(name) != 0;
+}
+
+StrategyPtr StrategyRegistry::make(const std::string& name) const {
+  StrategyFactory factory;
+  {
+    std::lock_guard lock(impl_->mutex);
+    const auto it = impl_->factories.find(name);
+    if (it != impl_->factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream os;
+    os << "unknown strategy '" << name << "'; registered strategies:";
+    for (const std::string& n : names()) os << ' ' << n;
+    throw precondition_error(os.str());
+  }
+  return factory();
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->factories.size());
+  for (const auto& [name, factory] : impl_->factories) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+StrategyPtr make_strategy(const std::string& name) {
+  return StrategyRegistry::instance().make(name);
+}
+
+}  // namespace ptsbe::pts

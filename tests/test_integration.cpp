@@ -41,7 +41,7 @@ TEST(Integration, ThirtyFiveQubitEncodedMsdOnMps) {
 
   be::Options exec;
   exec.backend = "mps";
-  exec.mps.max_bond = 64;
+  exec.config.mps.max_bond = 64;
   const be::Result result = be::execute(noisy, specs, exec);
   ASSERT_GT(result.total_shots(), 0u);
 
@@ -192,7 +192,7 @@ TEST(Integration, DatasetRoundTripAtScale) {
   const auto specs = pts::sample_probabilistic(noisy, opt, rng);
   be::Options exec;
   exec.backend = "mps";
-  exec.mps.max_bond = 32;
+  exec.config.mps.max_bond = 32;
   const auto result = be::execute(noisy, specs, exec);
   const std::string path = "/tmp/ptsbe_integration_dataset.bin";
   dataset::write_binary(path, result);
