@@ -29,6 +29,11 @@ void usage(const char* argv0) {
       "  --list                 print registered strategies/backends and exit\n"
       "  --strategy NAME        PTS strategy registry name [probabilistic]\n"
       "  --backend NAME         simulator backend registry name [statevector]\n"
+      "  --schedule NAME        trajectory schedule: independent or\n"
+      "                         shared-prefix (bit-identical records;\n"
+      "                         overlapping preparations amortised)\n"
+      "  --fuse                 fuse adjacent same-support gates before the\n"
+      "                         preparation sweep (amplitude backends)\n"
       "  --qubits N             GHZ workload width [6]\n"
       "  --noise P              depolarizing probability per gate [0.01]\n"
       "  --nsamples N           candidate trajectory draws [2000]\n"
@@ -50,6 +55,8 @@ int main(int argc, char** argv) {
 
   std::string strategy = "probabilistic";
   std::string backend = "statevector";
+  std::string schedule = "independent";
+  bool fuse = false;
   std::string csv_path, binary_path;
   unsigned qubits = 6;
   double noise_p = 0.01;
@@ -84,6 +91,10 @@ int main(int argc, char** argv) {
       strategy = value();
     } else if (arg == "--backend") {
       backend = value();
+    } else if (arg == "--schedule") {
+      schedule = value();
+    } else if (arg == "--fuse") {
+      fuse = true;
     } else if (arg == "--qubits") {
       qubits = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--noise") {
@@ -128,16 +139,21 @@ int main(int argc, char** argv) {
     noise.add_all_gate_noise(channels::depolarizing(noise_p));
     noise.add_measurement_noise(channels::bit_flip(noise_p / 2));
 
+    BackendConfig backend_cfg;
+    backend_cfg.fuse_gates = fuse;
     const RunResult run = Pipeline(circuit, noise)
                               .strategy(strategy, cfg)
-                              .backend(backend)
+                              .backend(backend, backend_cfg)
+                              .schedule(be::schedule_from_string(schedule))
                               .devices(devices)
                               .seed(seed)
                               .run();
 
-    std::printf("pipeline: strategy=%s backend=%s devices=%zu seed=%llu\n",
-                run.strategy.c_str(), run.backend.c_str(), devices,
-                static_cast<unsigned long long>(seed));
+    std::printf(
+        "pipeline: strategy=%s backend=%s schedule=%s fuse=%d devices=%zu "
+        "seed=%llu\n",
+        run.strategy.c_str(), run.backend.c_str(), schedule.c_str(),
+        fuse ? 1 : 0, devices, static_cast<unsigned long long>(seed));
     std::printf("specs=%zu shots=%llu prep=%.3fs sample=%.3fs\n", run.num_specs,
                 static_cast<unsigned long long>(run.result.total_shots()),
                 run.result.prepare_seconds, run.result.sample_seconds);

@@ -1,0 +1,184 @@
+#include "ptsbe/circuit/fusion.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Expand a 2×2 matrix to 4×4 acting on one slot of a two-qubit support.
+/// Slot 0 is the first listed qubit (= LSB of the 4×4, matching the kernel
+/// convention), slot 1 the second.
+Matrix expand_to_pair(const Matrix& u, unsigned slot) {
+  return slot == 0 ? kron(Matrix::identity(2), u)
+                   : kron(u, Matrix::identity(2));
+}
+
+/// Reindex a 4×4 matrix expressed in qubit order (b, a) into order (a, b):
+/// swap the two index bits on rows and columns.
+Matrix swap_pair_order(const Matrix& m) {
+  const auto flip = [](std::size_t i) { return ((i & 1) << 1) | (i >> 1); };
+  Matrix out(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) out(flip(r), flip(c)) = m(r, c);
+  return out;
+}
+
+/// An op under construction: `matrix`/`qubits` as in Operation, `live`
+/// false once the op has been absorbed into a later one.
+struct PendingOp {
+  Matrix matrix;
+  std::vector<unsigned> qubits;
+  bool fused = false;  ///< True once at least two source ops were merged.
+  bool live = true;
+  std::string name;
+  std::vector<double> params;
+};
+
+class RunFuser {
+ public:
+  void add(const Operation& op) {
+    PTSBE_REQUIRE(op.kind == OpKind::kGate,
+                  "fuse_gate_run expects gate operations only");
+    if (op.arity() == 1)
+      add1(op);
+    else if (op.arity() == 2)
+      add2(op);
+    else
+      push(op);  // k>2-qubit gates pass through unfused.
+  }
+
+  [[nodiscard]] std::vector<Operation> take() {
+    std::vector<Operation> out;
+    out.reserve(ops_.size());
+    for (PendingOp& p : ops_) {
+      if (!p.live) continue;
+      Operation op;
+      op.kind = OpKind::kGate;
+      op.name = p.fused ? "fused" : std::move(p.name);
+      op.qubits = std::move(p.qubits);
+      op.params = p.fused ? std::vector<double>{} : std::move(p.params);
+      op.matrix = std::move(p.matrix);
+      out.push_back(std::move(op));
+    }
+    return out;
+  }
+
+ private:
+  void add1(const Operation& op) {
+    const unsigned q = op.qubits[0];
+    const std::size_t last = last_op(q);
+    if (last != kNone) {
+      PendingOp& target = ops_[last];
+      if (target.qubits.size() == 1) {
+        target.matrix = op.matrix * target.matrix;
+        target.fused = true;
+        return;
+      }
+      if (target.qubits.size() == 2) {
+        const unsigned slot = target.qubits[0] == q ? 0 : 1;
+        target.matrix = expand_to_pair(op.matrix, slot) * target.matrix;
+        target.fused = true;
+        return;
+      }
+    }
+    push(op);
+  }
+
+  void add2(const Operation& op) {
+    const unsigned a = op.qubits[0], b = op.qubits[1];
+    const std::size_t la = last_op(a), lb = last_op(b);
+    // Same unordered pair: merge into the existing op, keeping its order.
+    if (la != kNone && la == lb && ops_[la].qubits.size() == 2) {
+      PendingOp& target = ops_[la];
+      const bool same_order = target.qubits[0] == a;
+      const Matrix& m = op.matrix;
+      target.matrix = (same_order ? m : swap_pair_order(m)) * target.matrix;
+      target.fused = true;
+      return;
+    }
+    // Otherwise absorb any trailing single-qubit gates on a and b. They are
+    // each the last op on their qubit, so commuting them forward into this
+    // gate crosses only disjoint-support operations.
+    Matrix m = op.matrix;
+    bool fused = false;
+    for (unsigned slot = 0; slot < 2; ++slot) {
+      const std::size_t last = last_op(op.qubits[slot]);
+      if (last == kNone || ops_[last].qubits.size() != 1) continue;
+      m = m * expand_to_pair(ops_[last].matrix, slot);
+      ops_[last].live = false;
+      fused = true;
+    }
+    Operation merged = op;
+    merged.matrix = std::move(m);
+    const std::size_t idx = push(merged);
+    ops_[idx].fused = fused;
+    if (fused) {
+      ops_[idx].name = "fused";
+      ops_[idx].params.clear();
+    }
+  }
+
+  /// Index of the newest live op touching `q`, or kNone.
+  [[nodiscard]] std::size_t last_op(unsigned q) const {
+    if (q >= last_.size() || last_[q] == kNone || !ops_[last_[q]].live)
+      return kNone;
+    return last_[q];
+  }
+
+  std::size_t push(const Operation& op) {
+    PendingOp p;
+    p.matrix = op.matrix;
+    p.qubits = op.qubits;
+    p.name = op.name;
+    p.params = op.params;
+    ops_.push_back(std::move(p));
+    const std::size_t idx = ops_.size() - 1;
+    for (unsigned q : op.qubits) {
+      if (q >= last_.size()) last_.resize(q + 1, kNone);
+      last_[q] = idx;
+    }
+    return idx;
+  }
+
+  std::vector<PendingOp> ops_;
+  std::vector<std::size_t> last_;  // qubit → index of last op touching it
+};
+
+}  // namespace
+
+std::vector<Operation> fuse_gate_run(std::span<const Operation> run) {
+  RunFuser fuser;
+  for (const Operation& op : run) fuser.add(op);
+  return fuser.take();
+}
+
+Circuit fuse_circuit(const Circuit& circuit, const BarrierAfterFn& barrier_after) {
+  Circuit out(circuit.num_qubits());
+  std::vector<Operation> segment;
+  const auto flush = [&] {
+    for (Operation& op : fuse_gate_run(segment))
+      out.gate(std::move(op.name), op.matrix, std::move(op.qubits),
+               std::move(op.params));
+    segment.clear();
+  };
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kMeasure) {
+      flush();
+      out.measure(ops[i].qubits.front());
+    } else {
+      segment.push_back(ops[i]);
+    }
+    if (barrier_after && barrier_after(i)) flush();
+  }
+  flush();
+  return out;
+}
+
+}  // namespace ptsbe

@@ -16,71 +16,6 @@ namespace ptsbe {
 
 namespace {
 
-/// Branch lookup for one trajectory: site index → assigned branch. Sites
-/// the spec does not list take their channel's default branch.
-std::vector<std::size_t> full_assignment(const NoisyCircuit& noisy,
-                                         const TrajectorySpec& spec) {
-  std::vector<std::size_t> assignment(noisy.num_sites());
-  for (std::size_t i = 0; i < noisy.num_sites(); ++i)
-    assignment[i] = noisy.sites()[i].channel->default_branch();
-  for (const BranchChoice& bc : spec.branches) {
-    PTSBE_REQUIRE(bc.site < noisy.num_sites(), "spec site out of range");
-    PTSBE_REQUIRE(bc.branch < noisy.sites()[bc.site].channel->num_branches(),
-                  "spec branch out of range");
-    assignment[bc.site] = bc.branch;
-  }
-  return assignment;
-}
-
-/// Prepare the trajectory state for `assignment` on `state`; accumulates
-/// the realised probability of every applied branch. Returns false when the
-/// spec is unrealizable at this state (a general-Kraus branch with zero
-/// realised probability — e.g. a second amplitude-damping decay after the
-/// qubit already reached |0⟩); the caller reports realized_probability 0
-/// and no records. Works for any state type exposing apply_gate /
-/// branch_probability / apply_kraus_branch (statevector, MPS, densmat).
-template <typename State>
-bool prepare_state(State& state, const NoisyCircuit& noisy,
-                   const std::vector<std::size_t>& assignment,
-                   double& realized_probability) {
-  const auto apply_site = [&](std::size_t id) {
-    const NoiseSite& site = noisy.sites()[id];
-    const std::size_t branch = assignment[id];
-    const KrausChannel& ch = *site.channel;
-    if (ch.is_unitary_mixture()) {
-      state.apply_gate(ch.unitary(branch), site.qubits);
-      realized_probability *= ch.nominal_probabilities()[branch];
-      return true;
-    }
-    const double p = state.branch_probability(ch.kraus(branch), site.qubits);
-    if (p < 1e-14) {
-      realized_probability = 0.0;
-      return false;
-    }
-    realized_probability *= state.apply_kraus_branch(ch.kraus(branch),
-                                                     site.qubits);
-    return true;
-  };
-  for (std::size_t id : noisy.sites_after(NoiseSite::kBeforeCircuit))
-    if (!apply_site(id)) return false;
-  const auto& ops = noisy.circuit().ops();
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (ops[i].kind == OpKind::kGate)
-      state.apply_gate(ops[i].matrix, ops[i].qubits);
-    for (std::size_t id : noisy.sites_after(i))
-      if (!apply_site(id)) return false;
-  }
-  return true;
-}
-
-/// Reduce full basis-state indices to measured-bit records.
-std::vector<std::uint64_t> to_records(std::vector<std::uint64_t> shots,
-                                      const std::vector<unsigned>& measured) {
-  if (!measured.empty())
-    for (std::uint64_t& s : shots) s = extract_bits(s, measured);
-  return shots;
-}
-
 /// Bits per shot record for `noisy` (one per measure op; all qubits when
 /// the circuit has none). ShotResult packs records into 64-bit words, so
 /// every backend's supports() declines wider programs instead of silently
@@ -105,33 +40,107 @@ bool measurements_are_terminal(const Circuit& circuit) {
   return true;
 }
 
-/// Shared run() skeleton for the three amplitude-style backends: construct
-/// a state, prepare the trajectory, bulk-sample, reduce to records.
-template <typename State, typename MakeState>
-ShotResult run_prepare_sample(const NoisyCircuit& noisy,
-                              const TrajectorySpec& spec, std::uint64_t shots,
-                              RngStream& rng, const MakeState& make_state) {
-  ShotResult out;
-  const std::vector<std::size_t> assignment = full_assignment(noisy, spec);
-  WallTimer timer;
-  State state = make_state(noisy.num_qubits());
-  const bool realizable =
-      prepare_state(state, noisy, assignment, out.realized_probability);
-  out.prepare_seconds = timer.seconds();
-  timer.reset();
-  if (realizable)
-    out.records = to_records(state.sample_shots(shots, rng),
-                             noisy.circuit().measured_qubits());
-  out.sample_seconds = timer.seconds();
-  return out;
-}
+/// Type-erasing SimState adapter over the concrete state representations.
+/// clone() is the representation's copy constructor — a deep snapshot.
+template <typename State>
+class SimStateAdapter final : public SimState {
+ public:
+  explicit SimStateAdapter(State state) : state_(std::move(state)) {}
+
+  [[nodiscard]] std::unique_ptr<SimState> clone() const override {
+    return std::make_unique<SimStateAdapter>(*this);
+  }
+
+  void apply_gate(const Matrix& matrix,
+                  std::span<const unsigned> qubits) override {
+    state_.apply_gate(matrix, qubits);
+  }
+
+  [[nodiscard]] double branch_probability(
+      const Matrix& k, std::span<const unsigned> qubits) override {
+    return state_.branch_probability(k, qubits);
+  }
+
+  double apply_kraus_branch(const Matrix& k,
+                            std::span<const unsigned> qubits) override {
+    return state_.apply_kraus_branch(k, qubits);
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> sample_shots(
+      std::size_t count, RngStream& rng) override {
+    return state_.sample_shots(count, rng);
+  }
+
+ private:
+  State state_;
+};
+
+/// Shared skeleton for the three amplitude-style backends: walk the
+/// (optionally fused) execution plan once with the spec's assignment, then
+/// bulk-sample and reduce to records. The shared-prefix scheduler drives
+/// the same plan through the same SimState surface, which is what makes
+/// the two schedules bit-for-bit identical.
+class AmplitudeBackend : public Backend {
+ public:
+  explicit AmplitudeBackend(bool fuse_gates) : fuse_gates_(fuse_gates) {}
+
+  [[nodiscard]] ExecPlan make_plan(const NoisyCircuit& noisy) const override {
+    return build_exec_plan(noisy, fuse_gates_);
+  }
+
+  [[nodiscard]] bool can_fork_states() const noexcept override { return true; }
+
+  /// One-off entry point: builds the plan itself. Executors iterating many
+  /// specs should build it once and call run_with_plan.
+  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
+                               const TrajectorySpec& spec,
+                               std::uint64_t shots,
+                               RngStream& rng) const override {
+    return run_with_plan(noisy, make_plan(noisy), spec, shots, rng);
+  }
+
+  [[nodiscard]] ShotResult run_with_plan(const NoisyCircuit& noisy,
+                                         const ExecPlan& plan,
+                                         const TrajectorySpec& spec,
+                                         std::uint64_t shots,
+                                         RngStream& rng) const override {
+    ShotResult out;
+    const std::vector<std::size_t> assignment = full_assignment(noisy, spec);
+    WallTimer timer;
+    const SimStatePtr state = make_state(noisy.num_qubits());
+    bool realizable = true;
+    for (const PlanStep& step : plan.steps) {
+      if (step.is_gate) {
+        state->apply_gate(step.matrix, step.qubits);
+        continue;
+      }
+      if (!apply_branch(*state, noisy.sites()[step.site],
+                        assignment[step.site], out.realized_probability)) {
+        realizable = false;
+        break;
+      }
+    }
+    out.prepare_seconds = timer.seconds();
+    timer.reset();
+    if (realizable)
+      out.records = reduce_to_records(state->sample_shots(shots, rng),
+                                      noisy.circuit().measured_qubits());
+    out.sample_seconds = timer.seconds();
+    return out;
+  }
+
+ private:
+  bool fuse_gates_;
+};
 
 // ---------------------------------------------------------------------------
 // Built-in backends
 // ---------------------------------------------------------------------------
 
-class StatevectorBackend final : public Backend {
+class StatevectorBackend final : public AmplitudeBackend {
  public:
+  using AmplitudeBackend::AmplitudeBackend;
+
   [[nodiscard]] const std::string& name() const noexcept override {
     static const std::string kName = "statevector";
     return kName;
@@ -142,18 +151,16 @@ class StatevectorBackend final : public Backend {
            record_width(noisy) <= 64;
   }
 
-  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
-                               const TrajectorySpec& spec,
-                               std::uint64_t shots,
-                               RngStream& rng) const override {
-    return run_prepare_sample<StateVector>(
-        noisy, spec, shots, rng,
-        [](unsigned n) { return StateVector(n); });
+  [[nodiscard]] SimStatePtr make_state(unsigned num_qubits) const override {
+    return std::make_unique<SimStateAdapter<StateVector>>(
+        StateVector(num_qubits));
   }
 };
 
-class DensmatBackend final : public Backend {
+class DensmatBackend final : public AmplitudeBackend {
  public:
+  using AmplitudeBackend::AmplitudeBackend;
+
   [[nodiscard]] const std::string& name() const noexcept override {
     static const std::string kName = "densmat";
     return kName;
@@ -164,19 +171,16 @@ class DensmatBackend final : public Backend {
            record_width(noisy) <= 64;
   }
 
-  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
-                               const TrajectorySpec& spec,
-                               std::uint64_t shots,
-                               RngStream& rng) const override {
-    return run_prepare_sample<DensityMatrix>(
-        noisy, spec, shots, rng,
-        [](unsigned n) { return DensityMatrix(n); });
+  [[nodiscard]] SimStatePtr make_state(unsigned num_qubits) const override {
+    return std::make_unique<SimStateAdapter<DensityMatrix>>(
+        DensityMatrix(num_qubits));
   }
 };
 
-class MpsBackend final : public Backend {
+class MpsBackend final : public AmplitudeBackend {
  public:
-  explicit MpsBackend(MpsConfig config) : config_(config) {}
+  MpsBackend(MpsConfig config, bool fuse_gates)
+      : AmplitudeBackend(fuse_gates), config_(config) {}
 
   [[nodiscard]] const std::string& name() const noexcept override {
     static const std::string kName = "mps";
@@ -192,13 +196,9 @@ class MpsBackend final : public Backend {
     return true;
   }
 
-  [[nodiscard]] ShotResult run(const NoisyCircuit& noisy,
-                               const TrajectorySpec& spec,
-                               std::uint64_t shots,
-                               RngStream& rng) const override {
-    return run_prepare_sample<MpsState>(
-        noisy, spec, shots, rng,
-        [this](unsigned n) { return MpsState(n, config_); });
+  [[nodiscard]] SimStatePtr make_state(unsigned num_qubits) const override {
+    return std::make_unique<SimStateAdapter<MpsState>>(
+        MpsState(num_qubits, config_));
   }
 
  private:
@@ -290,17 +290,17 @@ struct BackendRegistry::Impl {
 };
 
 BackendRegistry::BackendRegistry() : impl_(std::make_shared<Impl>()) {
-  register_backend("statevector", [](const BackendConfig&) -> BackendPtr {
-    return std::make_unique<StatevectorBackend>();
+  register_backend("statevector", [](const BackendConfig& config) -> BackendPtr {
+    return std::make_unique<StatevectorBackend>(config.fuse_gates);
   });
-  register_backend("densmat", [](const BackendConfig&) -> BackendPtr {
-    return std::make_unique<DensmatBackend>();
+  register_backend("densmat", [](const BackendConfig& config) -> BackendPtr {
+    return std::make_unique<DensmatBackend>(config.fuse_gates);
   });
   register_backend("stabilizer", [](const BackendConfig&) -> BackendPtr {
     return std::make_unique<StabilizerBackend>();
   });
   const auto make_mps = [](const BackendConfig& config) -> BackendPtr {
-    return std::make_unique<MpsBackend>(config.mps);
+    return std::make_unique<MpsBackend>(config.mps, config.fuse_gates);
   };
   register_backend("mps", make_mps);
   // Alias matching the paper's CUDA-Q backend name.

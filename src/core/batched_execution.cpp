@@ -1,13 +1,117 @@
 #include "ptsbe/core/batched_execution.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <numeric>
 #include <unordered_set>
 #include <utility>
 
 #include "ptsbe/common/error.hpp"
+#include "ptsbe/core/prefix_scheduler.hpp"
 
 namespace ptsbe::be {
+
+namespace {
+
+/// Per-device accounting, merged into the StreamSummary after the pool
+/// drains — keeps the sink mutex serialising only the sink call itself.
+struct DeviceAccum {
+  std::size_t num_batches = 0;
+  std::uint64_t total_shots = 0;
+  double prepare_seconds = 0.0;
+  double sample_seconds = 0.0;
+};
+
+StreamSummary merge(const std::vector<DeviceAccum>& accums) {
+  StreamSummary summary;
+  for (const DeviceAccum& a : accums) {
+    summary.num_batches += a.num_batches;
+    summary.total_shots += a.total_shots;
+    summary.prepare_seconds += a.prepare_seconds;
+    summary.sample_seconds += a.sample_seconds;
+  }
+  return summary;
+}
+
+/// Shared-prefix schedule: sort specs lexicographically by their dense
+/// branch assignment so overlapping trajectories are contiguous, split the
+/// sorted order into one contiguous chunk per device (a chunk boundary only
+/// re-simulates one prefix), and DFS each chunk's trie.
+StreamSummary execute_streaming_shared(const NoisyCircuit& noisy,
+                                       const std::vector<TrajectorySpec>& specs,
+                                       const Options& options,
+                                       const BatchSink& sink,
+                                       const Backend& backend,
+                                       const RngStream& master) {
+  const ExecPlan plan = backend.make_plan(noisy);
+  const std::vector<std::vector<std::size_t>> assignments =
+      all_assignments(noisy, specs);
+  std::vector<std::size_t> order(specs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (assignments[a] != assignments[b]) return assignments[a] < assignments[b];
+    return a < b;  // keep duplicate assignments in spec order
+  });
+
+  const DevicePool pool(options.num_devices);
+  const std::size_t num_chunks =
+      std::max<std::size_t>(1, std::min(pool.num_devices(), specs.size()));
+
+  std::vector<DeviceAccum> accums(pool.num_devices());
+  std::mutex sink_mutex;
+  std::atomic<bool> sink_failed{false};
+
+  pool.run_batch(num_chunks, [&](std::size_t device_id, std::size_t chunk) {
+    if (sink_failed.load(std::memory_order_acquire)) return;
+    const std::size_t begin = chunk * specs.size() / num_chunks;
+    const std::size_t end = (chunk + 1) * specs.size() / num_chunks;
+    if (begin == end) return;
+    DeviceAccum& accum = accums[device_id];
+    const double prepare = run_shared_prefix(
+        backend, noisy, plan, specs, assignments,
+        std::span<const std::size_t>(order).subspan(begin, end - begin),
+        master, [&](std::size_t t, ShotResult&& shot) {
+          TrajectoryBatch batch;
+          batch.spec_index = t;
+          batch.spec = specs[t];
+          batch.device_id = device_id;
+          batch.records = std::move(shot.records);
+          batch.realized_probability = shot.realized_probability;
+          accum.num_batches += 1;
+          accum.total_shots += batch.records.size();
+          accum.sample_seconds += shot.sample_seconds;
+
+          std::lock_guard lock(sink_mutex);
+          if (sink_failed.load(std::memory_order_relaxed)) return;
+          try {
+            sink(std::move(batch));
+          } catch (...) {
+            sink_failed.store(true, std::memory_order_release);
+            throw;  // unwinds the DFS; DevicePool rethrows after draining
+          }
+        });
+    accum.prepare_seconds += prepare;
+  });
+
+  return merge(accums);
+}
+
+}  // namespace
+
+const std::string& to_string(Schedule schedule) {
+  static const std::string kIndependentName = "independent";
+  static const std::string kSharedPrefixName = "shared-prefix";
+  return schedule == Schedule::kSharedPrefix ? kSharedPrefixName
+                                             : kIndependentName;
+}
+
+Schedule schedule_from_string(const std::string& name) {
+  if (name == "independent") return Schedule::kIndependent;
+  if (name == "shared-prefix") return Schedule::kSharedPrefix;
+  throw precondition_error("unknown schedule '" + name +
+                           "'; known schedules: independent shared-prefix");
+}
 
 std::uint64_t Result::total_shots() const noexcept {
   std::uint64_t total = 0;
@@ -16,11 +120,15 @@ std::uint64_t Result::total_shots() const noexcept {
 }
 
 double Result::unique_shot_fraction() const {
-  std::vector<std::uint64_t> all;
-  all.reserve(total_shots());
+  const std::uint64_t total = total_shots();
+  if (total == 0) return 0.0;
+  // Single pass, no materialised concatenation: the distinct set is built
+  // directly from each batch's records.
+  std::unordered_set<std::uint64_t> distinct;
+  distinct.reserve(static_cast<std::size_t>(total));
   for (const TrajectoryBatch& b : batches)
-    all.insert(all.end(), b.records.begin(), b.records.end());
-  return unique_fraction(all);
+    distinct.insert(b.records.begin(), b.records.end());
+  return static_cast<double>(distinct.size()) / static_cast<double>(total);
 }
 
 double unique_fraction(const std::vector<std::uint64_t>& records) {
@@ -43,9 +151,21 @@ StreamSummary execute_streaming(const NoisyCircuit& noisy,
                     "class or qubit count)");
 
   const RngStream master(options.seed);
-  const DevicePool pool(options.num_devices);
 
-  StreamSummary summary;
+  if (options.schedule == Schedule::kSharedPrefix && backend->can_fork_states())
+    return execute_streaming_shared(noisy, specs, options, sink, *backend,
+                                    master);
+  // Independent schedule — also the fallback for backends that cannot fork
+  // states (their records are identical under either schedule by contract).
+  // The plan is built once and shared by every run_with_plan call; backends
+  // that don't prepare through plans (stabilizer — exactly the non-forkable
+  // ones today) get an empty placeholder instead of a deep-copied plan
+  // their default run_with_plan would discard.
+  const ExecPlan plan =
+      backend->can_fork_states() ? backend->make_plan(noisy) : ExecPlan{};
+
+  const DevicePool pool(options.num_devices);
+  std::vector<DeviceAccum> accums(pool.num_devices());
   std::mutex sink_mutex;
   // Once any sink call throws, pending trajectories are skipped before
   // their (expensive) preparation instead of simulated-and-dropped;
@@ -60,16 +180,20 @@ StreamSummary execute_streaming(const NoisyCircuit& noisy,
     batch.device_id = device_id;
     // Reproducible per-trajectory stream, independent of scheduling.
     RngStream rng = master.substream(t);
-    ShotResult shot = backend->run(noisy, specs[t], specs[t].shots, rng);
+    ShotResult shot =
+        backend->run_with_plan(noisy, plan, specs[t], specs[t].shots, rng);
     batch.records = std::move(shot.records);
     batch.realized_probability = shot.realized_probability;
+    // Accounting is per-device and lock-free; the mutex below serialises
+    // only the sink call itself (the documented sink contract).
+    DeviceAccum& accum = accums[device_id];
+    accum.num_batches += 1;
+    accum.total_shots += batch.records.size();
+    accum.prepare_seconds += shot.prepare_seconds;
+    accum.sample_seconds += shot.sample_seconds;
 
     std::lock_guard lock(sink_mutex);
     if (sink_failed.load(std::memory_order_relaxed)) return;
-    summary.num_batches += 1;
-    summary.total_shots += batch.records.size();
-    summary.prepare_seconds += shot.prepare_seconds;
-    summary.sample_seconds += shot.sample_seconds;
     try {
       sink(std::move(batch));
     } catch (...) {
@@ -78,7 +202,7 @@ StreamSummary execute_streaming(const NoisyCircuit& noisy,
     }
   });
 
-  return summary;
+  return merge(accums);
 }
 
 Result execute(const NoisyCircuit& noisy,

@@ -1,0 +1,104 @@
+#include "ptsbe/core/exec_plan.hpp"
+
+#include <utility>
+
+#include "ptsbe/circuit/fusion.hpp"
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+
+namespace ptsbe {
+
+namespace {
+
+void emit_segment(ExecPlan& plan, std::vector<Operation>& segment,
+                  bool fuse_gates) {
+  if (segment.empty()) return;
+  std::vector<Operation> run =
+      fuse_gates ? fuse_gate_run(segment) : std::move(segment);
+  for (Operation& op : run) {
+    PlanStep step;
+    step.is_gate = true;
+    step.matrix = std::move(op.matrix);
+    step.qubits = std::move(op.qubits);
+    plan.steps.push_back(std::move(step));
+  }
+  segment.clear();
+}
+
+void emit_sites(ExecPlan& plan, std::vector<Operation>& segment,
+                bool fuse_gates, const std::vector<std::size_t>& site_ids) {
+  if (site_ids.empty()) return;
+  emit_segment(plan, segment, fuse_gates);  // sites are fusion barriers
+  for (std::size_t id : site_ids) {
+    PlanStep step;
+    step.is_gate = false;
+    step.site = id;
+    plan.steps.push_back(std::move(step));
+  }
+}
+
+}  // namespace
+
+ExecPlan build_exec_plan(const NoisyCircuit& noisy, bool fuse_gates) {
+  ExecPlan plan;
+  std::vector<Operation> segment;
+  emit_sites(plan, segment, fuse_gates,
+             noisy.sites_after(NoiseSite::kBeforeCircuit));
+  const auto& ops = noisy.circuit().ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kGate) {
+      segment.push_back(ops[i]);
+      ++plan.unfused_gate_count;
+    } else if (ops[i].kind == OpKind::kMeasure) {
+      // Measurements are fusion barriers, like noise sites: a consumer that
+      // records at the measure step must see the pre-measurement segment
+      // applied as written.
+      emit_segment(plan, segment, fuse_gates);
+    }
+    emit_sites(plan, segment, fuse_gates, noisy.sites_after(i));
+  }
+  emit_segment(plan, segment, fuse_gates);
+  for (const PlanStep& step : plan.steps)
+    step.is_gate ? ++plan.gate_count : ++plan.site_count;
+  return plan;
+}
+
+std::vector<std::size_t> full_assignment(const NoisyCircuit& noisy,
+                                         const TrajectorySpec& spec) {
+  std::vector<std::size_t> assignment(noisy.num_sites());
+  for (std::size_t i = 0; i < noisy.num_sites(); ++i)
+    assignment[i] = noisy.sites()[i].channel->default_branch();
+  for (const BranchChoice& bc : spec.branches) {
+    PTSBE_REQUIRE(bc.site < noisy.num_sites(), "spec site out of range");
+    PTSBE_REQUIRE(bc.branch < noisy.sites()[bc.site].channel->num_branches(),
+                  "spec branch out of range");
+    assignment[bc.site] = bc.branch;
+  }
+  return assignment;
+}
+
+bool apply_branch(SimState& state, const NoiseSite& site, std::size_t branch,
+                  double& realized) {
+  const KrausChannel& ch = *site.channel;
+  if (ch.is_unitary_mixture()) {
+    state.apply_gate(ch.unitary(branch), site.qubits);
+    realized *= ch.nominal_probabilities()[branch];
+    return true;
+  }
+  const double p = state.branch_probability(ch.kraus(branch), site.qubits);
+  if (p < 1e-14) {
+    realized = 0.0;
+    return false;
+  }
+  realized *= state.apply_kraus_branch(ch.kraus(branch), site.qubits);
+  return true;
+}
+
+std::vector<std::uint64_t> reduce_to_records(
+    std::vector<std::uint64_t> shots, const std::vector<unsigned>& measured) {
+  if (!measured.empty())
+    for (std::uint64_t& s : shots) s = extract_bits(s, measured);
+  return shots;
+}
+
+}  // namespace ptsbe

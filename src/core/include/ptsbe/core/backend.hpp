@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "ptsbe/common/rng.hpp"
+#include "ptsbe/core/exec_plan.hpp"
+#include "ptsbe/core/sim_state.hpp"
 #include "ptsbe/core/trajectory_spec.hpp"
 #include "ptsbe/tensornet/mps.hpp"
 
@@ -38,6 +40,11 @@ namespace ptsbe {
 struct BackendConfig {
   /// MPS truncation policy ("mps" backend only).
   MpsConfig mps;
+  /// Run the gate-fusion pass over every barrier-free segment of the
+  /// preparation sweep (amplitude backends). Fusion never crosses a noise
+  /// site or measurement, so fused preparation is equivalent to the unfused
+  /// sweep up to floating-point reassociation of the gate products.
+  bool fuse_gates = false;
 };
 
 /// Everything one backend invocation produces for one trajectory spec.
@@ -81,6 +88,43 @@ class Backend {
                                        const TrajectorySpec& spec,
                                        std::uint64_t shots,
                                        RngStream& rng) const = 0;
+
+  /// `run` with a pre-built execution plan, for executors that amortise
+  /// `make_plan` across a whole spec batch. `plan` must come from this
+  /// backend's `make_plan(noisy)`. The default ignores the plan and calls
+  /// `run` (correct for backends that do not prepare through plans).
+  [[nodiscard]] virtual ShotResult run_with_plan(const NoisyCircuit& noisy,
+                                                 const ExecPlan& plan,
+                                                 const TrajectorySpec& spec,
+                                                 std::uint64_t shots,
+                                                 RngStream& rng) const {
+    (void)plan;
+    return run(noisy, spec, shots, rng);
+  }
+
+  /// True when `make_state` returns forkable states — the O(1) capability
+  /// probe prefix-sharing schedulers gate on (constructing a throwaway
+  /// state just to test for nullptr could transiently allocate 2^n
+  /// amplitudes).
+  [[nodiscard]] virtual bool can_fork_states() const noexcept {
+    return false;
+  }
+
+  /// Fresh forkable |0…0⟩ state for prefix-sharing schedulers, or nullptr
+  /// when this backend's state cannot be snapshotted (stabilizer). A
+  /// non-null state, driven through `make_plan`'s steps, must reproduce
+  /// `run`'s preparation and sampling bit-for-bit.
+  [[nodiscard]] virtual SimStatePtr make_state(unsigned num_qubits) const {
+    (void)num_qubits;
+    return nullptr;
+  }
+
+  /// The execution plan `run` prepares trajectories with (this backend's
+  /// gate-fusion setting applied). Schedulers reuse it so scheduled and
+  /// independent preparations sweep identical matrices.
+  [[nodiscard]] virtual ExecPlan make_plan(const NoisyCircuit& noisy) const {
+    return build_exec_plan(noisy, false);
+  }
 };
 
 using BackendPtr = std::unique_ptr<Backend>;

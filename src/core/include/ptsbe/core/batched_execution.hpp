@@ -25,6 +25,24 @@
 
 namespace ptsbe::be {
 
+/// How trajectory preparations are scheduled across the spec set.
+enum class Schedule : std::uint8_t {
+  /// Every spec is prepared from |0…0⟩ independently (embarrassingly
+  /// parallel; works with every backend).
+  kIndependent,
+  /// Specs are organised into a trie over their per-site branch decisions;
+  /// each shared prefix is simulated once and the state is forked at the
+  /// first deviating branch (see ptsbe/core/prefix_scheduler.hpp). Records
+  /// are bit-for-bit identical to kIndependent. Backends that cannot fork
+  /// states (stabilizer) silently fall back to kIndependent.
+  kSharedPrefix,
+};
+
+/// Registry-style names for Schedule ("independent" | "shared-prefix").
+[[nodiscard]] const std::string& to_string(Schedule schedule);
+/// \throws precondition_error for unknown names (the message lists both).
+[[nodiscard]] Schedule schedule_from_string(const std::string& name);
+
 /// Execution options.
 struct Options {
   /// Registry name of the simulator backend that prepares and samples the
@@ -32,9 +50,14 @@ struct Options {
   /// or any plugin registered with BackendRegistry).
   std::string backend = "statevector";
   /// Tuning knobs forwarded verbatim to the backend factory (e.g.
-  /// `config.mps` for the MPS truncation policy). Embedding the whole
-  /// BackendConfig means new backend knobs need no Options edits.
+  /// `config.mps` for the MPS truncation policy, `config.fuse_gates` for
+  /// the gate-fusion pass). Embedding the whole BackendConfig means new
+  /// backend knobs need no Options edits.
   BackendConfig config;
+  /// Trajectory scheduling policy. kSharedPrefix amortises the shared
+  /// portion of the preparation sweep across overlapping specs; results
+  /// are bit-identical to kIndependent.
+  Schedule schedule = Schedule::kIndependent;
   /// Simulated devices for inter-trajectory parallelism.
   std::size_t num_devices = 1;
   /// Master seed; trajectory t uses substream (t+1) so results are
@@ -109,12 +132,13 @@ struct StreamSummary {
 
 /// Streaming variant of `execute`: each `TrajectoryBatch` is delivered to
 /// `sink` as its device finishes, in **completion order** (use
-/// `TrajectoryBatch::spec_index` to recover spec order; with one device
-/// completion order equals spec order). Per-trajectory randomness is the
-/// same substream scheme as `execute`, so the batches are bit-identical to
-/// the non-streaming path's — only the delivery changes. Records never
-/// accumulate in a `Result`, so dataset generation over huge spec sets runs
-/// in bounded memory.
+/// `TrajectoryBatch::spec_index` to recover spec order; with one device and
+/// the independent schedule completion order equals spec order; the
+/// shared-prefix schedule emits in trie DFS order). Per-trajectory
+/// randomness is the same substream scheme as `execute`, so the batches are
+/// bit-identical to the non-streaming path's — only the delivery changes.
+/// Records never accumulate in a `Result`, so dataset generation over huge
+/// spec sets runs in bounded memory.
 ///
 /// \throws precondition_error for unknown backend names or unsupported
 ///         programs; an exception thrown by `sink` propagates to the

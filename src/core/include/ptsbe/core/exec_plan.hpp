@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file exec_plan.hpp
+/// \brief The prepared-execution plan all amplitude backends sweep.
+///
+/// A `NoisyCircuit` interleaves deterministic gate ops with noise sites
+/// (`sites_after` buckets). An `ExecPlan` flattens that structure into one
+/// linear step list — gate steps and site (branch-decision) steps in program
+/// order — and optionally runs the gate-fusion pass over every deterministic
+/// segment *between* decision points. Noise sites and measurements are hard
+/// fusion barriers: fusing across one would change where the channel
+/// observes the state.
+///
+/// Both execution schedules consume the same plan: the independent path
+/// (`Backend::run`) walks it once per trajectory; the shared-prefix
+/// scheduler walks each common prefix once and forks at deviating site
+/// steps. Because the two paths apply the *identical* matrix sequence per
+/// trajectory — fused or not — their prepared states, realised
+/// probabilities and sampled records are bit-for-bit identical.
+
+#include <cstddef>
+#include <vector>
+
+#include "ptsbe/core/sim_state.hpp"
+#include "ptsbe/core/trajectory_spec.hpp"
+#include "ptsbe/noise/noise_model.hpp"
+
+namespace ptsbe {
+
+/// One step of an execution plan.
+struct PlanStep {
+  /// True: apply `matrix` on `qubits`. False: decide a branch for noise
+  /// site `site` (index into NoisyCircuit::sites()).
+  bool is_gate = true;
+  Matrix matrix;
+  std::vector<unsigned> qubits;
+  std::size_t site = 0;
+};
+
+/// Linearised (optionally fused) preparation recipe for one noisy program.
+struct ExecPlan {
+  std::vector<PlanStep> steps;
+  /// Gate sweeps per trajectory before fusion (diagnostics for the bench).
+  std::size_t unfused_gate_count = 0;
+  /// Gate sweeps per trajectory in `steps`.
+  std::size_t gate_count = 0;
+  /// Decision steps (== NoisyCircuit::num_sites()).
+  std::size_t site_count = 0;
+};
+
+/// Build the plan for `noisy`; `fuse_gates` runs the fusion pass over every
+/// barrier-free gate segment.
+[[nodiscard]] ExecPlan build_exec_plan(const NoisyCircuit& noisy,
+                                       bool fuse_gates);
+
+/// Dense site → branch assignment for `spec` (sites the spec does not list
+/// take their channel's default branch).
+/// \throws precondition_error when a spec entry is out of range for `noisy`.
+[[nodiscard]] std::vector<std::size_t> full_assignment(
+    const NoisyCircuit& noisy, const TrajectorySpec& spec);
+
+/// Apply branch `branch` of `site` to `state`, accumulating the realised
+/// probability into `realized`. Returns false when the branch is
+/// unrealizable at this state (general-Kraus branch with ~zero realised
+/// probability); `realized` is then 0 and the state is unspecified.
+bool apply_branch(SimState& state, const NoiseSite& site, std::size_t branch,
+                  double& realized);
+
+/// Reduce full basis-state indices to measured-bit records (`measured`
+/// empty = records stay full n-bit indices). Shared by both schedules so
+/// the record layout cannot diverge between them.
+[[nodiscard]] std::vector<std::uint64_t> reduce_to_records(
+    std::vector<std::uint64_t> shots, const std::vector<unsigned>& measured);
+
+}  // namespace ptsbe

@@ -90,6 +90,11 @@ class Pipeline {
   /// "statevector"). Unknown names throw at run().
   Pipeline& backend(std::string name, BackendConfig config = {});
 
+  /// Trajectory scheduling policy (default: independent). Shared-prefix
+  /// scheduling amortises overlapping preparation sweeps across specs and
+  /// produces bit-identical records (see be::Schedule).
+  Pipeline& schedule(be::Schedule schedule);
+
   /// Simulated devices for inter-trajectory parallelism (default 1).
   Pipeline& devices(std::size_t num_devices);
 

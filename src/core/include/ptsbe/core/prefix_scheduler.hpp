@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file prefix_scheduler.hpp
+/// \brief Shared-prefix trajectory scheduler.
+///
+/// Pre-sampled trajectories of one noisy program are *almost identical*:
+/// they share the coherent circuit and differ only in a handful of sampled
+/// noise branches. The independent schedule ignores that structure and
+/// re-prepares every trajectory from |0…0⟩. This scheduler instead views
+/// the spec set as a trie over the per-site branch decisions interleaved
+/// with the circuit's gate steps (the ExecPlan): every shared prefix is
+/// simulated exactly once, and the state is forked (`SimState::clone`) only
+/// where two trajectories first deviate.
+///
+/// Reproducibility contract: preparation consumes no randomness, and each
+/// leaf draws its spec's shots from the same per-trajectory Philox
+/// substream the independent schedule uses — so records, realised
+/// probabilities and therefore every downstream estimate and dataset byte
+/// are **bit-for-bit identical** between the two schedules (see
+/// tests/test_scheduler.cpp).
+///
+/// Memory: the DFS keeps one state snapshot alive per fork level on the
+/// current root-to-leaf path (worst case one per noise site). For very
+/// wide states prefer the independent schedule or more, smaller device
+/// chunks.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ptsbe/common/rng.hpp"
+#include "ptsbe/core/backend.hpp"
+
+namespace ptsbe::be {
+
+/// Delivery callback: `spec_index` is the index into the original spec
+/// vector; the ShotResult carries records, realised probability and the
+/// sampling wall-clock (preparation time is aggregated in the return value
+/// of run_shared_prefix, since shared prefixes have no per-spec owner).
+using SpecResultFn =
+    std::function<void(std::size_t spec_index, ShotResult&& result)>;
+
+/// Execute the trajectories selected by `order` (indices into `specs`,
+/// sorted lexicographically by their dense site→branch `assignments`) with
+/// shared-prefix scheduling, emitting one result per spec in trie DFS
+/// order. `master.substream(t)` seeds spec t's sampling, matching the
+/// independent path. Returns the preparation wall-clock for the whole
+/// group (gate sweeps + branch applications + forks).
+///
+/// Preconditions: `backend.make_state` must return non-null, and `order`
+/// must be sorted so that specs agreeing on every site up to any depth are
+/// contiguous (execute_streaming sorts once and hands out contiguous
+/// chunks; a chunk boundary only costs re-simulation of one prefix).
+double run_shared_prefix(const Backend& backend, const NoisyCircuit& noisy,
+                         const ExecPlan& plan,
+                         const std::vector<TrajectorySpec>& specs,
+                         const std::vector<std::vector<std::size_t>>& assignments,
+                         std::span<const std::size_t> order,
+                         const RngStream& master, const SpecResultFn& emit);
+
+/// Comparator-friendly helper: dense assignments for every spec, indexed
+/// like `specs`.
+[[nodiscard]] std::vector<std::vector<std::size_t>> all_assignments(
+    const NoisyCircuit& noisy, const std::vector<TrajectorySpec>& specs);
+
+}  // namespace ptsbe::be

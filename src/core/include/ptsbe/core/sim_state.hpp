@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file sim_state.hpp
+/// \brief Type-erased, forkable simulator state.
+///
+/// The shared-prefix trajectory scheduler (ptsbe/core/prefix_scheduler.hpp)
+/// walks a trie of trajectory specifications and must snapshot the simulator
+/// state at every fork point. `SimState` is the minimal contract that makes
+/// that possible without the scheduler knowing which representation
+/// (statevector, density matrix, MPS) it is driving: the four preparation /
+/// sampling operations `Backend::run` already performs, plus `clone()`.
+///
+/// Snapshots are plain deep copies — O(2^n) for the dense representations
+/// and O(n·χ²) for MPS — i.e. the cost of roughly *one* gate sweep, which is
+/// exactly what forking saves many of. Backends whose state cannot be
+/// snapshotted (the stabilizer frame sampler folds preparation and sampling
+/// together) simply do not offer one; see `Backend::make_state`.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ptsbe/common/rng.hpp"
+#include "ptsbe/linalg/matrix.hpp"
+
+namespace ptsbe {
+
+/// One forkable simulation state, positioned at |0…0⟩ on construction.
+/// Methods mirror the state-backend concept the unified backends prepare
+/// trajectories through; `branch_probability` is non-const because the MPS
+/// implementation moves its orthogonality center (the quantum state is
+/// unchanged).
+class SimState {
+ public:
+  virtual ~SimState() = default;
+
+  /// Deep-copy snapshot. The clone and the original evolve independently.
+  [[nodiscard]] virtual std::unique_ptr<SimState> clone() const = 0;
+
+  /// Apply a unitary on `qubits` (first listed = LSB of the matrix).
+  virtual void apply_gate(const Matrix& matrix,
+                          std::span<const unsigned> qubits) = 0;
+
+  /// Realised probability ⟨ψ|K†K|ψ⟩ of Kraus operator `k` at this state.
+  [[nodiscard]] virtual double branch_probability(
+      const Matrix& k, std::span<const unsigned> qubits) = 0;
+
+  /// Apply Kraus operator `k` and renormalise; returns ‖K|ψ⟩‖².
+  virtual double apply_kraus_branch(const Matrix& k,
+                                    std::span<const unsigned> qubits) = 0;
+
+  /// Bulk-draw `count` computational-basis shots (full n-bit indices).
+  [[nodiscard]] virtual std::vector<std::uint64_t> sample_shots(
+      std::size_t count, RngStream& rng) = 0;
+};
+
+using SimStatePtr = std::unique_ptr<SimState>;
+
+}  // namespace ptsbe

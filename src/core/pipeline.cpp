@@ -45,6 +45,11 @@ Pipeline& Pipeline::backend(std::string name, BackendConfig config) {
   return *this;
 }
 
+Pipeline& Pipeline::schedule(be::Schedule schedule) {
+  exec_.schedule = schedule;
+  return *this;
+}
+
 Pipeline& Pipeline::devices(std::size_t num_devices) {
   exec_.num_devices = num_devices;
   return *this;

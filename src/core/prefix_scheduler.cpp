@@ -1,0 +1,156 @@
+#include "ptsbe/core/prefix_scheduler.hpp"
+
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/common/timer.hpp"
+
+namespace ptsbe::be {
+
+namespace {
+
+/// DFS context shared by every node of one scheduled group.
+struct Walk {
+  const ExecPlan& plan;
+  const NoisyCircuit& noisy;
+  const std::vector<TrajectorySpec>& specs;
+  const std::vector<std::vector<std::size_t>>& assignments;
+  const RngStream& master;
+  const SpecResultFn& emit;
+  const std::vector<unsigned> measured;
+  /// Time spent in sampling calls / in the emit callback (which may run a
+  /// slow sink). Both are subtracted from the DFS wall-clock so the
+  /// reported preparation split covers only sweeps, branches and forks.
+  double sample_seconds = 0.0;
+  double emit_seconds = 0.0;
+};
+
+/// Deliver one result, keeping the callback's latency out of prep time.
+void emit_timed(Walk& walk, std::size_t t, ShotResult&& result) {
+  WallTimer timer;
+  walk.emit(t, std::move(result));
+  walk.emit_seconds += timer.seconds();
+}
+
+/// Report every spec of `group` as unrealizable (the shared prefix hit a
+/// zero-probability Kraus branch — exactly what the independent path
+/// reports for each of them).
+void emit_unrealizable(Walk& walk, std::span<const std::size_t> group) {
+  for (std::size_t t : group) {
+    ShotResult result;
+    result.realized_probability = 0.0;
+    emit_timed(walk, t, std::move(result));
+  }
+}
+
+/// All specs in `group` share one fully prepared state: sample each spec's
+/// budget from its own substream. Duplicate assignments are legal input, so
+/// every spec but the last samples from a fresh clone — sampling may touch
+/// the representation (MPS canonicalisation), and each spec must see the
+/// state exactly as its independent preparation left it.
+void emit_leaves(Walk& walk, SimStatePtr state, double realized,
+                 std::span<const std::size_t> group) {
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const std::size_t t = group[i];
+    SimStatePtr fork;
+    SimState* sampler = state.get();
+    if (i + 1 < group.size()) {
+      fork = state->clone();
+      sampler = fork.get();
+    }
+    ShotResult result;
+    result.realized_probability = realized;
+    RngStream rng = walk.master.substream(t);
+    WallTimer timer;
+    result.records = reduce_to_records(
+        sampler->sample_shots(walk.specs[t].shots, rng), walk.measured);
+    result.sample_seconds = timer.seconds();
+    walk.sample_seconds += result.sample_seconds;
+    emit_timed(walk, t, std::move(result));
+  }
+}
+
+/// Simulate from plan step `step_index` for the contiguous `group`, whose
+/// members agree on every site step before `step_index`. Owns `state`.
+/// Recursion depth equals the number of *fork* points on the path, not the
+/// number of sites: unanimous decisions advance iteratively.
+void dfs(Walk& walk, SimStatePtr state, double realized, std::size_t step_index,
+         std::span<const std::size_t> group) {
+  for (std::size_t s = step_index; s < walk.plan.steps.size(); ++s) {
+    const PlanStep& step = walk.plan.steps[s];
+    if (step.is_gate) {
+      state->apply_gate(step.matrix, step.qubits);
+      continue;
+    }
+    const NoiseSite& site = walk.noisy.sites()[step.site];
+    // Partition the (sorted) group into runs of equal branch choice.
+    std::size_t first = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> runs;  // [begin, end)
+    while (first < group.size()) {
+      const std::size_t branch = walk.assignments[group[first]][step.site];
+      std::size_t last = first + 1;
+      while (last < group.size() &&
+             walk.assignments[group[last]][step.site] == branch)
+        ++last;
+      runs.emplace_back(first, last);
+      first = last;
+    }
+    if (runs.size() == 1) {  // unanimous: no fork, continue in place
+      if (!apply_branch(*state, site,
+                        walk.assignments[group.front()][step.site], realized)) {
+        emit_unrealizable(walk, group);
+        return;
+      }
+      continue;
+    }
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      const auto [begin, end] = runs[r];
+      const std::span<const std::size_t> sub = group.subspan(begin, end - begin);
+      // The last run takes over the parent state; earlier runs fork it.
+      SimStatePtr child =
+          (r + 1 == runs.size()) ? std::move(state) : state->clone();
+      double child_realized = realized;
+      if (!apply_branch(*child, site, walk.assignments[sub.front()][step.site],
+                        child_realized)) {
+        emit_unrealizable(walk, sub);
+        continue;
+      }
+      dfs(walk, std::move(child), child_realized, s + 1, sub);
+    }
+    return;
+  }
+  emit_leaves(walk, std::move(state), realized, group);
+}
+
+}  // namespace
+
+double run_shared_prefix(const Backend& backend, const NoisyCircuit& noisy,
+                         const ExecPlan& plan,
+                         const std::vector<TrajectorySpec>& specs,
+                         const std::vector<std::vector<std::size_t>>& assignments,
+                         std::span<const std::size_t> order,
+                         const RngStream& master, const SpecResultFn& emit) {
+  if (order.empty()) return 0.0;
+  Walk walk{plan,   noisy, specs, assignments,
+            master, emit,  noisy.circuit().measured_qubits()};
+  SimStatePtr root = backend.make_state(noisy.num_qubits());
+  PTSBE_REQUIRE(root != nullptr,
+                "backend '" + backend.name() +
+                    "' cannot fork states; use the independent schedule");
+  WallTimer timer;
+  dfs(walk, std::move(root), 1.0, 0, order);
+  // Preparation = the DFS wall-clock minus the timed sampling calls and
+  // the emit callbacks (delivery/sink latency is not preparation).
+  return timer.seconds() - walk.sample_seconds - walk.emit_seconds;
+}
+
+std::vector<std::vector<std::size_t>> all_assignments(
+    const NoisyCircuit& noisy, const std::vector<TrajectorySpec>& specs) {
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(specs.size());
+  for (const TrajectorySpec& spec : specs)
+    out.push_back(full_assignment(noisy, spec));
+  return out;
+}
+
+}  // namespace ptsbe::be

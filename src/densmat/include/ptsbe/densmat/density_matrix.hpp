@@ -21,6 +21,9 @@
 namespace ptsbe {
 
 /// Dense 2^n × 2^n density matrix with unitary/channel application.
+///
+/// Copy construction is a deep snapshot of ρ — the fork primitive the
+/// shared-prefix trajectory scheduler relies on.
 class DensityMatrix {
  public:
   /// |0…0⟩⟨0…0| on `num_qubits` qubits. Precondition: 1 <= num_qubits <= 13.

@@ -27,6 +27,10 @@
 namespace ptsbe {
 
 /// Dense 2^n statevector with gate/Kraus application and bulk sampling.
+///
+/// Copy construction is a deep snapshot of the amplitude array — the fork
+/// primitive the shared-prefix trajectory scheduler relies on (one copy
+/// costs about one gate sweep).
 class StateVector {
  public:
   /// |0…0⟩ on `num_qubits` qubits. Precondition: 1 <= num_qubits <= 30

@@ -43,6 +43,10 @@ struct MpsStats {
 };
 
 /// MPS state with gate application, Kraus branches and batched sampling.
+///
+/// Copy construction deep-copies the site tensors — O(n·χ²) and therefore a
+/// *cheap* snapshot relative to re-running the prefix, which is why the MPS
+/// backend offers itself to the shared-prefix trajectory scheduler.
 class MpsState {
  public:
   /// |0…0⟩ on `num_qubits` qubits.

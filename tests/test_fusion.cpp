@@ -1,0 +1,203 @@
+// The gate-fusion pass: fused circuits must be mathematically identical to
+// their sources (pinned exactly on known sequences, property-style on
+// random circuits), fusion must actually shrink fusable circuits, and it
+// must never cross a measurement or a noise site — the boundaries where
+// something observes or perturbs the state mid-circuit.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ptsbe/circuit/fusion.hpp"
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+
+namespace ptsbe {
+namespace {
+
+/// |⟨φ|ψ⟩|² between the states a circuit and its fused form prepare.
+double fused_fidelity(const Circuit& circuit, const Circuit& fused) {
+  StateVector a(circuit.num_qubits());
+  a.apply_circuit(circuit);
+  StateVector b(fused.num_qubits());
+  b.apply_circuit(fused);
+  return a.fidelity(b);
+}
+
+TEST(Fusion, MergesSingleQubitRuns) {
+  Circuit c(1);
+  c.h(0).t(0).s(0).h(0);
+  const Circuit fused = fuse_circuit(c);
+  EXPECT_EQ(fused.gate_count(), 1u);
+  EXPECT_NEAR(fused_fidelity(c, fused), 1.0, 1e-12);
+}
+
+TEST(Fusion, MergesTwoQubitRunsIncludingReversedPairs) {
+  Circuit c(2);
+  c.cx(0, 1).cz(0, 1).cx(1, 0);  // same unordered pair throughout
+  const Circuit fused = fuse_circuit(c);
+  EXPECT_EQ(fused.gate_count(), 1u);
+  EXPECT_NEAR(fused_fidelity(
+                  Circuit(2).h(0).ry(1, 0.7).append(c),
+                  Circuit(2).h(0).ry(1, 0.7).append(fused)),
+              1.0, 1e-12);
+}
+
+TEST(Fusion, AbsorbsSingleQubitGatesIntoTwoQubitNeighbours) {
+  // 1q before the 2q gate, and 1q after it, on both qubits.
+  Circuit c(2);
+  c.h(0).t(1).cx(0, 1).s(0).h(1);
+  const Circuit fused = fuse_circuit(c);
+  EXPECT_EQ(fused.gate_count(), 1u);
+  EXPECT_NEAR(fused_fidelity(c, fused), 1.0, 1e-12);
+}
+
+TEST(Fusion, CommutesPastDisjointSupports) {
+  // The two h(0) are separated by ops on qubit 1 only — still one fused op
+  // per support.
+  Circuit c(2);
+  c.h(0).t(1).s(1).h(0);
+  const Circuit fused = fuse_circuit(c);
+  EXPECT_EQ(fused.gate_count(), 2u);
+  EXPECT_NEAR(fused_fidelity(c, fused), 1.0, 1e-12);
+}
+
+TEST(Fusion, InverseRunsFuseToIdentity) {
+  Circuit c(2);
+  c.cx(0, 1).cx(0, 1);
+  const Circuit fused = fuse_circuit(c);
+  ASSERT_EQ(fused.gate_count(), 1u);
+  EXPECT_TRUE(approx_equal(fused.ops()[0].matrix, Matrix::identity(4)));
+}
+
+TEST(Fusion, DoesNotCrossMeasurements) {
+  Circuit c(1);
+  c.h(0).measure(0).h(0);
+  const Circuit fused = fuse_circuit(c);
+  EXPECT_EQ(fused.gate_count(), 2u);  // the measure op pins the two apart
+  EXPECT_EQ(fused.size(), 3u);
+  EXPECT_EQ(fused.ops()[1].kind, OpKind::kMeasure);
+}
+
+TEST(Fusion, RespectsExplicitBarriers) {
+  Circuit c(1);
+  c.h(0).h(0);
+  const Circuit unbarred = fuse_circuit(c);
+  EXPECT_EQ(unbarred.gate_count(), 1u);
+  const Circuit barred =
+      fuse_circuit(c, [](std::size_t i) { return i == 0; });
+  EXPECT_EQ(barred.gate_count(), 2u);
+}
+
+TEST(Fusion, ExecPlanNeverFusesAcrossNoiseSites) {
+  // Noise after the first h(0) splits the pair; the noiseless qubit-1 run
+  // still fuses. Step layout must be gate/site interleaved accordingly.
+  Circuit c(2);
+  c.h(0).h(0).t(1).s(1);
+  NoiseModel nm;
+  nm.add_gate_noise("h", channels::bit_flip(0.1));
+  const NoisyCircuit noisy = nm.apply(c);
+  ASSERT_EQ(noisy.num_sites(), 2u);
+
+  const ExecPlan plan = build_exec_plan(noisy, true);
+  EXPECT_EQ(plan.site_count, 2u);
+  EXPECT_EQ(plan.unfused_gate_count, 4u);
+  // h(0) | site | h(0)+t/s(1) fused per support → 3 gate steps, not 2.
+  EXPECT_EQ(plan.gate_count, 3u);
+  ASSERT_GE(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.steps[0].is_gate);
+  EXPECT_FALSE(plan.steps[1].is_gate);  // the site fires right after h(0)
+}
+
+TEST(Fusion, ExecPlanNeverFusesAcrossMeasurements) {
+  // Non-terminal measurement between two h(0): the plan must keep the two
+  // gate sweeps apart even though no noise site intervenes.
+  Circuit c(1);
+  c.h(0).measure(0).h(0);
+  const ExecPlan plan = build_exec_plan(NoiseModel().apply(c), true);
+  EXPECT_EQ(plan.gate_count, 2u);
+  EXPECT_EQ(plan.site_count, 0u);
+}
+
+TEST(Fusion, ExecPlanUnfusedMatchesProgramOrder) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(0.05));
+  const NoisyCircuit noisy = nm.apply(c);
+  const ExecPlan plan = build_exec_plan(noisy, false);
+  EXPECT_EQ(plan.gate_count, 2u);
+  EXPECT_EQ(plan.site_count, noisy.num_sites());
+  EXPECT_EQ(plan.unfused_gate_count, plan.gate_count);
+}
+
+// Property: random dense circuits fuse to an equivalent, never larger
+// program. Mix of parameterised 1q rotations and entanglers on random
+// pairs, fused with no barriers.
+class FusionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FusionProperty, RandomCircuitsAreInvariantUnderFusion) {
+  RngStream rng(GetParam());
+  const unsigned n = 5;
+  Circuit c(n);
+  for (int i = 0; i < 60; ++i) {
+    const double r = rng.uniform();
+    const unsigned q = static_cast<unsigned>(rng.uniform_index(n));
+    if (r < 0.5) {
+      switch (rng.uniform_index(4)) {
+        case 0: c.rx(q, rng.uniform(0, 6.28)); break;
+        case 1: c.ry(q, rng.uniform(0, 6.28)); break;
+        case 2: c.rz(q, rng.uniform(0, 6.28)); break;
+        default: c.h(q); break;
+      }
+    } else {
+      unsigned p = static_cast<unsigned>(rng.uniform_index(n));
+      if (p == q) p = (p + 1) % n;
+      if (rng.uniform() < 0.5)
+        c.cx(q, p);
+      else
+        c.cz(q, p);
+    }
+  }
+  const Circuit fused = fuse_circuit(c);
+  EXPECT_LE(fused.gate_count(), c.gate_count());
+  EXPECT_LT(fused.gate_count(), c.gate_count())
+      << "a 60-op dense random circuit should fuse at least once";
+  EXPECT_NEAR(fused_fidelity(c, fused), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionProperty,
+                         ::testing::Values(7u, 8u, 9u, 10u, 11u, 12u));
+
+// End-to-end: the fuse_gates backend knob must leave sampled distributions
+// statistically unchanged (exact equality is not expected — fusion
+// reassociates floating-point products).
+TEST(Fusion, BackendKnobPreservesDistributions) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(1).cx(1, 2).h(2).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::depolarizing(0.02));
+  const NoisyCircuit noisy = nm.apply(c);
+
+  TrajectorySpec error_free;
+  error_free.shots = 20000;
+  error_free.nominal_probability = 1.0;
+
+  be::Options plain;
+  be::Options fused;
+  fused.config.fuse_gates = true;
+  const be::Result a = be::execute(noisy, {error_free}, plain);
+  const be::Result b = be::execute(noisy, {error_free}, fused);
+  ASSERT_EQ(a.batches.size(), 1u);
+  ASSERT_EQ(b.batches.size(), 1u);
+  std::array<double, 8> fa{}, fb{};
+  for (auto r : a.batches[0].records) fa[r % 8] += 1.0 / 20000;
+  for (auto r : b.batches[0].records) fb[r % 8] += 1.0 / 20000;
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(fa[i], fb[i], 0.015) << "outcome " << i;
+}
+
+}  // namespace
+}  // namespace ptsbe

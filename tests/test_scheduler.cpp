@@ -1,0 +1,279 @@
+// The shared-prefix trajectory scheduler's reproducibility contract:
+// records, realised probabilities and dataset bytes must be **bit-for-bit
+// identical** to the independent schedule — across every registered PTS
+// strategy, across the forkable backends, under multi-device scheduling,
+// with gate fusion on, and through unrealizable-branch specs. This is the
+// acceptance gate that makes the scheduler a pure optimisation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "ptsbe/core/dataset.hpp"
+#include "ptsbe/core/pipeline.hpp"
+#include "ptsbe/core/prefix_scheduler.hpp"
+#include "ptsbe/noise/channels.hpp"
+
+namespace ptsbe {
+namespace {
+
+NoisyCircuit ghz_program(unsigned n = 5, double p = 0.03) {
+  Circuit c(n);
+  c.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  c.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(p));
+  noise.add_measurement_noise(channels::bit_flip(p / 2));
+  return noise.apply(c);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Bitwise equality — EXPECT_DOUBLE_EQ would allow 4 ulps; the contract is
+/// exact.
+void expect_results_identical(const be::Result& a, const be::Result& b) {
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (std::size_t i = 0; i < a.batches.size(); ++i) {
+    const be::TrajectoryBatch& x = a.batches[i];
+    const be::TrajectoryBatch& y = b.batches[i];
+    EXPECT_EQ(x.spec_index, y.spec_index);
+    EXPECT_TRUE(x.spec.same_assignment(y.spec));
+    EXPECT_EQ(x.spec.shots, y.spec.shots);
+    EXPECT_EQ(x.records, y.records) << "spec " << i;
+    EXPECT_EQ(x.realized_probability, y.realized_probability) << "spec " << i;
+  }
+}
+
+be::Result run_schedule(const NoisyCircuit& noisy,
+                        const std::vector<TrajectorySpec>& specs,
+                        be::Schedule schedule, const std::string& backend,
+                        std::size_t devices = 1, bool fuse = false) {
+  be::Options options;
+  options.backend = backend;
+  options.schedule = schedule;
+  options.num_devices = devices;
+  options.config.fuse_gates = fuse;
+  return be::execute(noisy, specs, options);
+}
+
+TEST(SharedPrefixScheduler, IdenticalAcrossAllRegisteredStrategies) {
+  const NoisyCircuit noisy = ghz_program();
+  for (const std::string& strategy : pts::StrategyRegistry::instance().names()) {
+    pts::StrategyConfig cfg;
+    cfg.nsamples = 300;
+    cfg.nshots = 50;
+    cfg.probability_cutoff = 1e-5;
+    cfg.p_min = 1e-6;
+    cfg.p_max = 1e-1;
+    Pipeline pipeline(noisy);
+    pipeline.strategy(strategy, cfg).seed(17);
+    const std::vector<TrajectorySpec> specs = pipeline.sample();
+    ASSERT_FALSE(specs.empty()) << strategy;
+    const be::Result independent = run_schedule(
+        noisy, specs, be::Schedule::kIndependent, "statevector");
+    const be::Result shared = run_schedule(
+        noisy, specs, be::Schedule::kSharedPrefix, "statevector");
+    SCOPED_TRACE("strategy=" + strategy);
+    expect_results_identical(independent, shared);
+  }
+}
+
+TEST(SharedPrefixScheduler, IdenticalAcrossForkableBackends) {
+  const NoisyCircuit noisy = ghz_program();
+  RngStream rng(23);
+  pts::Options opt;
+  opt.nsamples = 200;
+  opt.nshots = 40;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  ASSERT_GT(specs.size(), 4u);
+  for (const char* backend_name : {"statevector", "densmat", "mps"}) {
+    const std::string backend(backend_name);
+    SCOPED_TRACE("backend=" + backend);
+    expect_results_identical(
+        run_schedule(noisy, specs, be::Schedule::kIndependent, backend),
+        run_schedule(noisy, specs, be::Schedule::kSharedPrefix, backend));
+  }
+}
+
+TEST(SharedPrefixScheduler, IdenticalUnderMultiDeviceAndFusion) {
+  const NoisyCircuit noisy = ghz_program(6);
+  RngStream rng(29);
+  pts::Options opt;
+  opt.nsamples = 400;
+  opt.nshots = 25;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  const be::Result reference =
+      run_schedule(noisy, specs, be::Schedule::kIndependent, "statevector");
+  expect_results_identical(
+      reference, run_schedule(noisy, specs, be::Schedule::kSharedPrefix,
+                              "statevector", 4));
+  // Fusion reassociates the gate products identically on both schedules,
+  // so fused-vs-fused stays bitwise identical too.
+  expect_results_identical(
+      run_schedule(noisy, specs, be::Schedule::kIndependent, "statevector", 1,
+                   true),
+      run_schedule(noisy, specs, be::Schedule::kSharedPrefix, "statevector", 4,
+                   true));
+}
+
+TEST(SharedPrefixScheduler, HandlesUnrealizableBranchSpecs) {
+  // Amplitude damping: branch 1 is the decay K₁. After h(0), cx(0,1) both
+  // qubits can decay once; forcing a second decay on the same site chain
+  // makes the spec unrealizable at execution time.
+  Circuit c(2);
+  c.h(0).cx(0, 1).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::amplitude_damping(0.3));
+  const NoisyCircuit noisy = nm.apply(c);
+  ASSERT_GE(noisy.num_sites(), 3u);
+
+  std::vector<TrajectorySpec> specs;
+  TrajectorySpec clean;
+  clean.shots = 200;
+  clean.nominal_probability = 0.5;
+  specs.push_back(clean);
+  TrajectorySpec one_decay;
+  one_decay.branches = {{1, 1}};
+  one_decay.shots = 200;
+  one_decay.nominal_probability = 0.2;
+  specs.push_back(one_decay);
+  // Decay qubit 0 right after h(0) (collapsing it to |0⟩ before the cx),
+  // then demand a second decay of qubit 0 after the cx — zero probability.
+  TrajectorySpec double_decay;
+  double_decay.branches = {{0, 1}, {1, 1}};
+  double_decay.shots = 200;
+  double_decay.nominal_probability = 0.05;
+  specs.push_back(double_decay);
+
+  const be::Result independent =
+      run_schedule(noisy, specs, be::Schedule::kIndependent, "statevector");
+  const be::Result shared =
+      run_schedule(noisy, specs, be::Schedule::kSharedPrefix, "statevector");
+  expect_results_identical(independent, shared);
+  EXPECT_EQ(shared.batches[2].realized_probability, 0.0);
+  EXPECT_TRUE(shared.batches[2].records.empty());
+  EXPECT_GT(shared.batches[1].realized_probability, 0.0);
+}
+
+TEST(SharedPrefixScheduler, StreamWriterBytesMatchIndependentSchedule) {
+  const NoisyCircuit noisy = ghz_program();
+  RngStream rng(31);
+  pts::Options opt;
+  opt.nsamples = 250;
+  opt.nshots = 30;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+
+  const auto stream_to = [&](be::Schedule schedule, const std::string& path) {
+    be::Options options;
+    options.schedule = schedule;
+    dataset::StreamWriter writer(path);
+    std::vector<be::TrajectoryBatch> batches(specs.size());
+    (void)be::execute_streaming(noisy, specs, options,
+                                [&](be::TrajectoryBatch&& batch) {
+                                  batches[batch.spec_index] = std::move(batch);
+                                });
+    // Restore spec order before writing: the schedules emit in different
+    // orders (completion vs trie DFS) and the byte contract is about
+    // content, not scheduling.
+    for (const be::TrajectoryBatch& batch : batches) writer.append(batch);
+    writer.close();
+  };
+  const std::string independent_path = "/tmp/ptsbe_test_sched_indep.bin";
+  const std::string shared_path = "/tmp/ptsbe_test_sched_shared.bin";
+  stream_to(be::Schedule::kIndependent, independent_path);
+  stream_to(be::Schedule::kSharedPrefix, shared_path);
+  const std::string independent_bytes = slurp(independent_path);
+  ASSERT_FALSE(independent_bytes.empty());
+  EXPECT_EQ(independent_bytes, slurp(shared_path));
+}
+
+TEST(SharedPrefixScheduler, StreamingDeliversEverySpecExactlyOnce) {
+  const NoisyCircuit noisy = ghz_program();
+  RngStream rng(37);
+  pts::Options opt;
+  opt.nsamples = 150;
+  opt.nshots = 10;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  be::Options options;
+  options.schedule = be::Schedule::kSharedPrefix;
+  options.num_devices = 4;
+  std::vector<std::size_t> deliveries(specs.size(), 0);
+  const be::StreamSummary summary = be::execute_streaming(
+      noisy, specs, options, [&](be::TrajectoryBatch&& batch) {
+        ASSERT_LT(batch.spec_index, specs.size());
+        deliveries[batch.spec_index] += 1;
+      });
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(deliveries[i], 1u) << "spec " << i;
+  EXPECT_EQ(summary.num_batches, specs.size());
+  EXPECT_EQ(summary.total_shots, total_shots(specs));
+}
+
+TEST(SharedPrefixScheduler, StabilizerBackendFallsBackToIndependent) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::bit_flip(0.05));
+  const NoisyCircuit noisy = nm.apply(c);
+  RngStream rng(41);
+  pts::Options opt;
+  opt.nsamples = 100;
+  opt.nshots = 20;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  expect_results_identical(
+      run_schedule(noisy, specs, be::Schedule::kIndependent, "stabilizer"),
+      run_schedule(noisy, specs, be::Schedule::kSharedPrefix, "stabilizer"));
+}
+
+TEST(SharedPrefixScheduler, PipelineScheduleKnobRoundTrips) {
+  const NoisyCircuit noisy = ghz_program();
+  pts::StrategyConfig cfg;
+  cfg.nsamples = 120;
+  cfg.nshots = 16;
+  const RunResult independent =
+      Pipeline(noisy).strategy("probabilistic", cfg).seed(7).run();
+  const RunResult shared = Pipeline(noisy)
+                               .strategy("probabilistic", cfg)
+                               .schedule(be::Schedule::kSharedPrefix)
+                               .seed(7)
+                               .run();
+  expect_results_identical(independent.result, shared.result);
+}
+
+TEST(ScheduleNames, RoundTripAndReject) {
+  EXPECT_EQ(be::schedule_from_string("independent"), be::Schedule::kIndependent);
+  EXPECT_EQ(be::schedule_from_string("shared-prefix"),
+            be::Schedule::kSharedPrefix);
+  EXPECT_EQ(to_string(be::Schedule::kSharedPrefix), "shared-prefix");
+  EXPECT_EQ(to_string(be::Schedule::kIndependent), "independent");
+  EXPECT_THROW((void)be::schedule_from_string("bogus"), precondition_error);
+}
+
+TEST(UniqueShotFraction, SinglePassMatchesDefinition) {
+  be::Result result;
+  be::TrajectoryBatch a;
+  a.records = {1, 2, 2, 3};
+  be::TrajectoryBatch b;
+  b.records = {3, 4};
+  result.batches = {a, b};
+  EXPECT_DOUBLE_EQ(result.unique_shot_fraction(), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(be::Result{}.unique_shot_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace ptsbe
