@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "ptsbe/core/pipeline.hpp"
@@ -23,8 +24,8 @@
 
 namespace {
 
-void usage(const char* argv0) {
-  std::printf(
+void usage(std::FILE* os, const char* argv0) {
+  std::fprintf(os,
       "usage: %s [options]\n"
       "  --list                 print registered strategies/backends and exit\n"
       "  --strategy NAME        PTS strategy registry name [probabilistic]\n"
@@ -38,7 +39,11 @@ void usage(const char* argv0) {
       "  --noise P              depolarizing probability per gate [0.01]\n"
       "  --nsamples N           candidate trajectory draws [2000]\n"
       "  --nshots N             shots per surviving trajectory [500]\n"
-      "  --devices N            simulated devices [1]\n"
+      "  --threads N            worker threads for trajectory execution\n"
+      "                         (0 = hardware concurrency; records are\n"
+      "                         bit-identical at every thread count) [1]\n"
+      "  --devices N            simulated devices (legacy alias for the\n"
+      "                         same worker pool) [1]\n"
       "  --seed S               master seed for PTS and BE [42]\n"
       "  --cutoff P             'enumerate' probability cutoff [1e-6]\n"
       "  --p-min P --p-max P    'band' probability window [0, 1]\n"
@@ -46,6 +51,16 @@ void usage(const char* argv0) {
       "  --csv PATH             export the labelled shots as CSV\n"
       "  --binary PATH          export the labelled shots as PTSB binary\n",
       argv0);
+}
+
+/// Fail fast on bad registry names: report, print usage, exit 2 — before
+/// any workload is built or any state allocated. Without this, a typo like
+/// `--strategy probablistic` used to surface only deep inside run() (and
+/// exercised none of the CLI's own output paths).
+[[noreturn]] void reject(const char* argv0, const std::string& what) {
+  std::fprintf(stderr, "error: %s\n\n", what.c_str());
+  usage(stderr, argv0);
+  std::exit(2);
 }
 
 }  // namespace
@@ -60,6 +75,7 @@ int main(int argc, char** argv) {
   std::string csv_path, binary_path;
   unsigned qubits = 6;
   double noise_p = 0.01;
+  std::size_t threads = 1;
   std::size_t devices = 1;
   std::uint64_t seed = 42;
   pts::StrategyConfig cfg;
@@ -76,7 +92,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
+      usage(stdout, argv[0]);
       return 0;
     } else if (arg == "--list") {
       std::printf("strategies:");
@@ -103,6 +119,8 @@ int main(int argc, char** argv) {
       cfg.nsamples = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--nshots") {
       cfg.nshots = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--devices") {
       devices = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--seed") {
@@ -123,9 +141,30 @@ int main(int argc, char** argv) {
       binary_path = value();
     } else {
       std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
-      usage(argv[0]);
+      usage(stderr, argv[0]);
       return 2;
     }
+  }
+
+  // Validate every registry-keyed flag up front, before any work happens.
+  if (!pts::StrategyRegistry::instance().contains(strategy)) {
+    std::string known;
+    for (const auto& n : pts::StrategyRegistry::instance().names())
+      known += ' ' + n;
+    reject(argv[0], "unknown strategy '" + strategy +
+                        "'; registered strategies:" + known);
+  }
+  if (!BackendRegistry::instance().contains(backend)) {
+    std::string known;
+    for (const auto& n : BackendRegistry::instance().names()) known += ' ' + n;
+    reject(argv[0],
+           "unknown backend '" + backend + "'; registered backends:" + known);
+  }
+  try {
+    // schedule_from_string owns the name list; its message enumerates it.
+    (void)be::schedule_from_string(schedule);
+  } catch (const std::exception& e) {
+    reject(argv[0], e.what());
   }
 
   try {
@@ -145,15 +184,19 @@ int main(int argc, char** argv) {
                               .strategy(strategy, cfg)
                               .backend(backend, backend_cfg)
                               .schedule(be::schedule_from_string(schedule))
+                              .threads(threads)
                               .devices(devices)
                               .seed(seed)
                               .run();
 
     std::printf(
-        "pipeline: strategy=%s backend=%s schedule=%s fuse=%d devices=%zu "
-        "seed=%llu\n",
-        run.strategy.c_str(), run.backend.c_str(), schedule.c_str(),
-        fuse ? 1 : 0, devices, static_cast<unsigned long long>(seed));
+        "pipeline: strategy=%s backend=%s schedule=%s%s fuse=%d threads=%zu "
+        "devices=%zu seed=%llu\n",
+        run.strategy.c_str(), run.backend.c_str(),
+        to_string(run.schedule_executed).c_str(),
+        run.schedule_fell_back() ? " (fell back from shared-prefix)" : "",
+        fuse ? 1 : 0, threads, devices,
+        static_cast<unsigned long long>(seed));
     std::printf("specs=%zu shots=%llu prep=%.3fs sample=%.3fs\n", run.num_specs,
                 static_cast<unsigned long long>(run.result.total_shots()),
                 run.result.prepare_seconds, run.result.sample_seconds);

@@ -1,31 +1,33 @@
 #include "ptsbe/core/batched_execution.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <numeric>
 #include <unordered_set>
 #include <utility>
 
 #include "ptsbe/common/error.hpp"
 #include "ptsbe/core/prefix_scheduler.hpp"
+#include "ptsbe/core/trajectory_executor.hpp"
 
 namespace ptsbe::be {
 
 namespace {
 
-/// Per-device accounting, merged into the StreamSummary after the pool
-/// drains — keeps the sink mutex serialising only the sink call itself.
-struct DeviceAccum {
+/// Per-worker accounting, merged into the StreamSummary after the executor
+/// drains (the join publishes every slot). Cache-line sized so adjacent
+/// workers don't false-share their accumulators.
+struct alignas(64) WorkerAccum {
   std::size_t num_batches = 0;
   std::uint64_t total_shots = 0;
   double prepare_seconds = 0.0;
   double sample_seconds = 0.0;
 };
 
-StreamSummary merge(const std::vector<DeviceAccum>& accums) {
+StreamSummary merge(const std::vector<WorkerAccum>& accums,
+                    Schedule executed) {
   StreamSummary summary;
-  for (const DeviceAccum& a : accums) {
+  summary.schedule = executed;
+  for (const WorkerAccum& a : accums) {
     summary.num_batches += a.num_batches;
     summary.total_shots += a.total_shots;
     summary.prepare_seconds += a.prepare_seconds;
@@ -35,9 +37,10 @@ StreamSummary merge(const std::vector<DeviceAccum>& accums) {
 }
 
 /// Shared-prefix schedule: sort specs lexicographically by their dense
-/// branch assignment so overlapping trajectories are contiguous, split the
-/// sorted order into one contiguous chunk per device (a chunk boundary only
-/// re-simulates one prefix), and DFS each chunk's trie.
+/// branch assignment so overlapping trajectories are contiguous, then walk
+/// the whole trie as one work-stealing DFS — fork points spawn subtree
+/// tasks, so parallelism appears exactly where trajectories deviate and the
+/// shared work is still done once.
 StreamSummary execute_streaming_shared(const NoisyCircuit& noisy,
                                        const std::vector<TrajectorySpec>& specs,
                                        const Options& options,
@@ -54,47 +57,33 @@ StreamSummary execute_streaming_shared(const NoisyCircuit& noisy,
     return a < b;  // keep duplicate assignments in spec order
   });
 
-  const DevicePool pool(options.num_devices);
-  const std::size_t num_chunks =
-      std::max<std::size_t>(1, std::min(pool.num_devices(), specs.size()));
-
-  std::vector<DeviceAccum> accums(pool.num_devices());
-  std::mutex sink_mutex;
-  std::atomic<bool> sink_failed{false};
-
-  pool.run_batch(num_chunks, [&](std::size_t device_id, std::size_t chunk) {
-    if (sink_failed.load(std::memory_order_acquire)) return;
-    const std::size_t begin = chunk * specs.size() / num_chunks;
-    const std::size_t end = (chunk + 1) * specs.size() / num_chunks;
-    if (begin == end) return;
-    DeviceAccum& accum = accums[device_id];
-    const double prepare = run_shared_prefix(
-        backend, noisy, plan, specs, assignments,
-        std::span<const std::size_t>(order).subspan(begin, end - begin),
-        master, [&](std::size_t t, ShotResult&& shot) {
-          TrajectoryBatch batch;
-          batch.spec_index = t;
-          batch.spec = specs[t];
-          batch.device_id = device_id;
-          batch.records = std::move(shot.records);
-          batch.realized_probability = shot.realized_probability;
-          accum.num_batches += 1;
-          accum.total_shots += batch.records.size();
-          accum.sample_seconds += shot.sample_seconds;
-
-          std::lock_guard lock(sink_mutex);
-          if (sink_failed.load(std::memory_order_relaxed)) return;
-          try {
-            sink(std::move(batch));
-          } catch (...) {
-            sink_failed.store(true, std::memory_order_release);
-            throw;  // unwinds the DFS; DevicePool rethrows after draining
-          }
-        });
-    accum.prepare_seconds += prepare;
-  });
-
-  return merge(accums);
+  TrajectoryExecutor executor(resolved_threads(options));
+  std::vector<WorkerAccum> accums(executor.num_workers());
+  std::vector<double> prepare_seconds(executor.num_workers(), 0.0);
+  // Worker-side delivery: wrap the ShotResult into a TrajectoryBatch,
+  // account on this worker's slot (single-writer, lock-free by
+  // construction) and hand the batch to the drain loop's lock-free queue.
+  // The sink itself runs only on the calling thread, inside drain().
+  const SpecResultFn emit = [&](std::size_t worker, std::size_t t,
+                                ShotResult&& shot) {
+    TrajectoryBatch batch;
+    batch.spec_index = t;
+    batch.spec = specs[t];
+    batch.device_id = worker;
+    batch.records = std::move(shot.records);
+    batch.realized_probability = shot.realized_probability;
+    WorkerAccum& accum = accums[worker];
+    accum.num_batches += 1;
+    accum.total_shots += batch.records.size();
+    accum.sample_seconds += shot.sample_seconds;
+    executor.emit(std::move(batch));
+  };
+  spawn_shared_prefix(executor, backend, noisy, plan, specs, assignments,
+                      order, master, emit, prepare_seconds);
+  executor.drain([&sink](TrajectoryBatch&& batch) { sink(std::move(batch)); });
+  for (std::size_t w = 0; w < accums.size(); ++w)
+    accums[w].prepare_seconds += prepare_seconds[w];
+  return merge(accums, Schedule::kSharedPrefix);
 }
 
 }  // namespace
@@ -121,6 +110,9 @@ std::uint64_t Result::total_shots() const noexcept {
 
 double Result::unique_shot_fraction() const {
   const std::uint64_t total = total_shots();
+  // Empty results (no batches, or only unrealizable zero-record batches)
+  // have no well-defined fraction; return 0.0 rather than dividing into
+  // NaN. Pinned by tests/test_scheduler.cpp.
   if (total == 0) return 0.0;
   // Single pass, no materialised concatenation: the distinct set is built
   // directly from each batch's records.
@@ -143,7 +135,7 @@ StreamSummary execute_streaming(const NoisyCircuit& noisy,
                                 const Options& options, const BatchSink& sink) {
   PTSBE_REQUIRE(static_cast<bool>(sink), "streaming execution needs a sink");
   // Resolve the backend by name once; the instance is immutable and its
-  // run() is re-entrant, so every device shares it.
+  // run() is re-entrant, so every worker shares it.
   const BackendPtr backend = make_backend(options.backend, options.config);
   PTSBE_REQUIRE(backend->supports(noisy),
                 "backend '" + options.backend +
@@ -155,67 +147,66 @@ StreamSummary execute_streaming(const NoisyCircuit& noisy,
   if (options.schedule == Schedule::kSharedPrefix && backend->can_fork_states())
     return execute_streaming_shared(noisy, specs, options, sink, *backend,
                                     master);
-  // Independent schedule — also the fallback for backends that cannot fork
-  // states (their records are identical under either schedule by contract).
-  // The plan is built once and shared by every run_with_plan call; backends
-  // that don't prepare through plans (stabilizer — exactly the non-forkable
-  // ones today) get an empty placeholder instead of a deep-copied plan
-  // their default run_with_plan would discard.
+  // Independent schedule — also the deterministic fallback for backends
+  // that cannot fork states (their records are identical under either
+  // schedule by contract; the fallback is surfaced via
+  // StreamSummary::schedule). The plan is built once and shared by every
+  // run_with_plan call; backends that don't prepare through plans
+  // (stabilizer — exactly the non-forkable ones today) get an empty
+  // placeholder instead of a deep-copied plan their default run_with_plan
+  // would discard.
   const ExecPlan plan =
       backend->can_fork_states() ? backend->make_plan(noisy) : ExecPlan{};
 
-  const DevicePool pool(options.num_devices);
-  std::vector<DeviceAccum> accums(pool.num_devices());
-  std::mutex sink_mutex;
-  // Once any sink call throws, pending trajectories are skipped before
-  // their (expensive) preparation instead of simulated-and-dropped;
-  // DevicePool rethrows the first exception after the devices drain.
-  std::atomic<bool> sink_failed{false};
+  TrajectoryExecutor executor(resolved_threads(options));
+  std::vector<WorkerAccum> accums(executor.num_workers());
 
-  pool.run_batch(specs.size(), [&](std::size_t device_id, std::size_t t) {
-    if (sink_failed.load(std::memory_order_acquire)) return;
-    TrajectoryBatch batch;
-    batch.spec_index = t;
-    batch.spec = specs[t];
-    batch.device_id = device_id;
-    // Reproducible per-trajectory stream, independent of scheduling.
-    RngStream rng = master.substream(t);
-    ShotResult shot =
-        backend->run_with_plan(noisy, plan, specs[t], specs[t].shots, rng);
-    batch.records = std::move(shot.records);
-    batch.realized_probability = shot.realized_probability;
-    // Accounting is per-device and lock-free; the mutex below serialises
-    // only the sink call itself (the documented sink contract).
-    DeviceAccum& accum = accums[device_id];
-    accum.num_batches += 1;
-    accum.total_shots += batch.records.size();
-    accum.prepare_seconds += shot.prepare_seconds;
-    accum.sample_seconds += shot.sample_seconds;
+  // One task per spec, seeded in reverse: a worker pops its own deque
+  // newest-first, so with a single worker execution (and therefore
+  // delivery) order equals spec order.
+  for (std::size_t t = specs.size(); t-- > 0;) {
+    executor.spawn([&, t](std::size_t worker) {
+      // Cancelled runs (sink or task failure) skip pending trajectories
+      // *before* their expensive preparation.
+      if (executor.cancelled()) return;
+      TrajectoryBatch batch;
+      batch.spec_index = t;
+      batch.spec = specs[t];
+      batch.device_id = worker;
+      // Reproducible per-trajectory stream, independent of scheduling.
+      RngStream rng = master.substream(t);
+      ShotResult shot =
+          backend->run_with_plan(noisy, plan, specs[t], specs[t].shots, rng);
+      batch.records = std::move(shot.records);
+      batch.realized_probability = shot.realized_probability;
+      // Accounting is per-worker and lock-free; batch handoff is the
+      // executor's lock-free queue. The sink runs on the calling thread.
+      WorkerAccum& accum = accums[worker];
+      accum.num_batches += 1;
+      accum.total_shots += batch.records.size();
+      accum.prepare_seconds += shot.prepare_seconds;
+      accum.sample_seconds += shot.sample_seconds;
+      executor.emit(std::move(batch));
+    });
+  }
+  executor.drain([&sink](TrajectoryBatch&& batch) { sink(std::move(batch)); });
 
-    std::lock_guard lock(sink_mutex);
-    if (sink_failed.load(std::memory_order_relaxed)) return;
-    try {
-      sink(std::move(batch));
-    } catch (...) {
-      sink_failed.store(true, std::memory_order_release);
-      throw;
-    }
-  });
-
-  return merge(accums);
+  return merge(accums, Schedule::kIndependent);
 }
 
 Result execute(const NoisyCircuit& noisy,
                const std::vector<TrajectorySpec>& specs,
                const Options& options) {
   // The non-streaming path is a materialising sink over the streaming one:
-  // batches land at their spec index, restoring spec order.
+  // batches land at their spec index, restoring spec order (and erasing any
+  // thread-scheduling effect on ordering).
   Result result;
   result.batches.resize(specs.size());
   const StreamSummary summary = execute_streaming(
       noisy, specs, options, [&result](TrajectoryBatch&& batch) {
         result.batches[batch.spec_index] = std::move(batch);
       });
+  result.schedule = summary.schedule;
   result.prepare_seconds = summary.prepare_seconds;
   result.sample_seconds = summary.sample_seconds;
   return result;

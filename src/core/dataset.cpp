@@ -11,7 +11,13 @@ namespace ptsbe::dataset {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'T', 'S', 'B'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 dropped the per-batch device id: which worker prepared a batch
+// is a thread-scheduling artifact, and persisting it broke the contract
+// that a batch's *bytes* depend only on (program, spec, seed). With it
+// gone, spec-ordered exports (write_binary over a materialised Result) are
+// byte-identical at every thread count; a streamed file can still order
+// its blocks by completion, but the blocks themselves are bitwise stable.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void put(std::ofstream& os, const T& v) {
@@ -30,7 +36,6 @@ T get(std::ifstream& is) {
 /// streaming writers.
 void put_batch(std::ofstream& os, const be::TrajectoryBatch& batch) {
   put(os, static_cast<std::uint64_t>(batch.spec_index));
-  put(os, static_cast<std::uint64_t>(batch.device_id));
   put(os, batch.spec.nominal_probability);
   put(os, batch.realized_probability);
   put(os, static_cast<std::uint64_t>(batch.spec.shots));
@@ -123,14 +128,16 @@ be::Result read_binary(const std::string& path) {
     throw runtime_failure("'" + path + "' is not a PTSB dataset");
   const auto version = get<std::uint32_t>(is);
   if (version != kVersion)
-    throw runtime_failure("unsupported dataset version " +
-                          std::to_string(version));
+    throw runtime_failure(
+        "unsupported dataset version " + std::to_string(version) +
+        (version == 1 ? " (version 1 embedded scheduler-dependent device "
+                        "ids; regenerate the dataset)"
+                      : ""));
   be::Result result;
   const auto num_batches = get<std::uint64_t>(is);
   result.batches.resize(num_batches);
   for (be::TrajectoryBatch& batch : result.batches) {
     batch.spec_index = get<std::uint64_t>(is);
-    batch.device_id = get<std::uint64_t>(is);
     batch.spec.nominal_probability = get<double>(is);
     batch.realized_probability = get<double>(is);
     batch.spec.shots = get<std::uint64_t>(is);

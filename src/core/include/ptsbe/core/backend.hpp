@@ -65,7 +65,7 @@ struct ShotResult {
 
 /// One simulator backend. Implementations are immutable after construction
 /// and `run` is const and re-entrant: Batched Execution shares a single
-/// instance across all DevicePool workers.
+/// instance across all TrajectoryExecutor workers.
 class Backend {
  public:
   virtual ~Backend() = default;

@@ -7,18 +7,19 @@
 /// state exactly once (the O(2^n)/tensor-contraction cost) and then draws the
 /// spec's full shot budget in bulk (polynomial cost), eliminating the
 /// redundant state re-preparation of conventional trajectory simulation.
-/// Specs are embarrassingly parallel: they are farmed over a `DevicePool`
-/// (the CPU stand-in for the paper's multi-GPU inter-trajectory
-/// parallelism), each with a reproducible Philox substream keyed by its
-/// batch index. Error provenance — the spec's branch list — rides along as
-/// metadata on every batch (the paper's third bullet).
+/// Specs are embarrassingly parallel: they are sharded over the
+/// work-stealing `TrajectoryExecutor` (the CPU stand-in for the paper's
+/// multi-GPU inter-trajectory parallelism; `Options::threads` sizes the
+/// pool), each with a reproducible Philox substream keyed by its batch
+/// index — which is why records are bit-identical at every thread count.
+/// Error provenance — the spec's branch list — rides along as metadata on
+/// every batch (the paper's third bullet).
 
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "ptsbe/common/device_pool.hpp"
 #include "ptsbe/common/rng.hpp"
 #include "ptsbe/core/backend.hpp"
 #include "ptsbe/core/trajectory_spec.hpp"
@@ -34,7 +35,10 @@ enum class Schedule : std::uint8_t {
   /// each shared prefix is simulated once and the state is forked at the
   /// first deviating branch (see ptsbe/core/prefix_scheduler.hpp). Records
   /// are bit-for-bit identical to kIndependent. Backends that cannot fork
-  /// states (stabilizer) silently fall back to kIndependent.
+  /// states (stabilizer) deterministically fall back to kIndependent — the
+  /// records are identical by contract, and the schedule actually executed
+  /// is surfaced in `Result::schedule` / `StreamSummary::schedule` (and
+  /// `RunResult::schedule_executed` at the pipeline layer).
   kSharedPrefix,
 };
 
@@ -58,7 +62,17 @@ struct Options {
   /// portion of the preparation sweep across overlapping specs; results
   /// are bit-identical to kIndependent.
   Schedule schedule = Schedule::kIndependent;
-  /// Simulated devices for inter-trajectory parallelism.
+  /// Worker threads for inter-trajectory parallelism (the work-stealing
+  /// `TrajectoryExecutor`): 0 = hardware concurrency, 1 (default) = serial
+  /// execution on one worker. Records are bit-identical at every thread
+  /// count; only batch *completion order* (and the diagnostic per-batch
+  /// `device_id`) depends on scheduling. Inner backend kernels may also be
+  /// OpenMP-parallel — cap them (OMP_NUM_THREADS=1) when oversubscription
+  /// matters.
+  std::size_t threads = 1;
+  /// Legacy name for the same worker pool ("simulated devices"); the
+  /// effective worker count is max(threads, num_devices) — see
+  /// `be::resolved_threads`.
   std::size_t num_devices = 1;
   /// Master seed; trajectory t uses substream (t+1) so results are
   /// reproducible regardless of device scheduling.
@@ -81,13 +95,19 @@ struct TrajectoryBatch {
   /// second amplitude-damping decay on an already-decayed qubit); such
   /// batches carry no records.
   double realized_probability = 1.0;
-  /// Device that prepared this trajectory (diagnostics).
+  /// Executor worker ("simulated device") that prepared this trajectory.
+  /// Diagnostics only: under work stealing the value depends on thread
+  /// scheduling, which is why the dataset formats do not persist it.
   std::size_t device_id = 0;
 };
 
 /// Full BE output.
 struct Result {
   std::vector<TrajectoryBatch> batches;
+  /// Schedule actually executed — differs from `Options::schedule` only
+  /// when shared-prefix was requested with a backend that cannot fork
+  /// states and BE deterministically fell back to independent.
+  Schedule schedule = Schedule::kIndependent;
   /// Wall-clock split (seconds): state preparations vs bulk sampling —
   /// the two regimes whose asymmetry drives Fig. 4/5.
   double prepare_seconds = 0.0;
@@ -99,10 +119,11 @@ struct Result {
   [[nodiscard]] double unique_shot_fraction() const;
 };
 
-/// Consumer of completed trajectory batches on the streaming path. The
-/// executor invokes the sink from worker threads but **serialises the
-/// calls** (at most one in flight), so sinks need no locking of their own.
-/// The sink owns the batch it receives.
+/// Consumer of completed trajectory batches on the streaming path. Workers
+/// hand completed batches over a lock-free queue and the executor invokes
+/// the sink **only on the calling thread** (`execute_streaming`'s caller),
+/// one call at a time — so sinks need no locking of their own and a slow
+/// sink never blocks a worker. The sink owns the batch it receives.
 using BatchSink = std::function<void(TrajectoryBatch&&)>;
 
 /// Aggregate accounting for a streaming run — everything `Result` carries
@@ -110,6 +131,8 @@ using BatchSink = std::function<void(TrajectoryBatch&&)>;
 struct StreamSummary {
   std::size_t num_batches = 0;
   std::uint64_t total_shots = 0;
+  /// Schedule actually executed (see `Result::schedule`).
+  Schedule schedule = Schedule::kIndependent;
   /// Wall-clock split (seconds): state preparations vs bulk sampling.
   double prepare_seconds = 0.0;
   double sample_seconds = 0.0;
@@ -131,14 +154,14 @@ struct StreamSummary {
                              const Options& options = {});
 
 /// Streaming variant of `execute`: each `TrajectoryBatch` is delivered to
-/// `sink` as its device finishes, in **completion order** (use
-/// `TrajectoryBatch::spec_index` to recover spec order; with one device and
-/// the independent schedule completion order equals spec order; the
-/// shared-prefix schedule emits in trie DFS order). Per-trajectory
-/// randomness is the same substream scheme as `execute`, so the batches are
-/// bit-identical to the non-streaming path's — only the delivery changes.
-/// Records never accumulate in a `Result`, so dataset generation over huge
-/// spec sets runs in bounded memory.
+/// `sink` (on the calling thread) as its worker finishes it, in
+/// **completion order** (use `TrajectoryBatch::spec_index` to recover spec
+/// order; with one worker and the independent schedule completion order
+/// equals spec order). Per-trajectory randomness is the same substream
+/// scheme as `execute`, so the batches are bit-identical to the
+/// non-streaming path's at every thread count — only the delivery order
+/// changes. Records never accumulate in a `Result`, so dataset generation
+/// over huge spec sets runs in bounded memory.
 ///
 /// \throws precondition_error for unknown backend names or unsupported
 ///         programs; an exception thrown by `sink` propagates to the

@@ -26,9 +26,15 @@ namespace ptsbe::dataset {
 /// \throws runtime_failure when the file cannot be written.
 void write_csv(const std::string& path, const be::Result& result);
 
-/// Write a BE result as the compact binary format (magic "PTSB", version 1).
-/// Implemented on top of `StreamWriter`, so the two paths cannot diverge:
-/// streaming a result batch-by-batch produces a byte-identical file.
+/// Write a BE result as the compact binary format (magic "PTSB", version 2;
+/// version 2 dropped the scheduler-dependent per-batch device id, so the
+/// bytes of a spec-ordered export depend only on the program, the specs
+/// and the seed — never on thread count or scheduling). Implemented on top
+/// of `StreamWriter`, so the two paths cannot diverge: streaming the same
+/// batch sequence produces a byte-identical file. (A sink streaming under
+/// `threads > 1` receives batches in completion order — same blocks,
+/// possibly permuted; append in `spec_index` order when byte-stable files
+/// matter.)
 /// \throws runtime_failure when the file cannot be written.
 void write_binary(const std::string& path, const be::Result& result);
 

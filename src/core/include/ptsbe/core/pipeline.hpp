@@ -52,6 +52,18 @@ struct RunResult {
   std::string backend;
   /// Trajectory specifications executed (== result.batches.size()).
   std::size_t num_specs = 0;
+  /// Schedule the caller asked for (Pipeline::schedule).
+  be::Schedule schedule_requested = be::Schedule::kIndependent;
+  /// Schedule BE actually executed. Differs from `schedule_requested` only
+  /// when shared-prefix was requested with a backend that cannot fork
+  /// states (stabilizer) and BE deterministically fell back to the
+  /// independent schedule — records are identical by contract either way.
+  be::Schedule schedule_executed = be::Schedule::kIndependent;
+
+  /// True when the shared-prefix → independent fallback occurred.
+  [[nodiscard]] bool schedule_fell_back() const noexcept {
+    return schedule_requested != schedule_executed;
+  }
 
   /// Estimate E[f(record)] under the physical noisy distribution, using the
   /// strategy's declared weighting.
@@ -95,7 +107,14 @@ class Pipeline {
   /// produces bit-identical records (see be::Schedule).
   Pipeline& schedule(be::Schedule schedule);
 
+  /// Worker threads for inter-trajectory parallelism (default 1; 0 =
+  /// hardware concurrency). Records are bit-identical at every thread
+  /// count — see be::Options::threads.
+  Pipeline& threads(std::size_t num_threads);
+
   /// Simulated devices for inter-trajectory parallelism (default 1).
+  /// Legacy alias for the same worker pool as `threads`; the effective
+  /// worker count is the max of the two knobs.
   Pipeline& devices(std::size_t num_devices);
 
   /// Master seed for *both* stages: PTS samples from the master stream

@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file prefix_scheduler.hpp
-/// \brief Shared-prefix trajectory scheduler.
+/// \brief Shared-prefix trajectory scheduler (work-stealing parallel DFS).
 ///
 /// Pre-sampled trajectories of one noisy program are *almost identical*:
 /// they share the coherent circuit and differ only in a handful of sampled
@@ -12,17 +12,28 @@
 /// simulated exactly once, and the state is forked (`SimState::clone`) only
 /// where two trajectories first deviate.
 ///
+/// Parallelism: fork points are task-spawn points. The walk starts as one
+/// root task on the `TrajectoryExecutor`; where the sorted group splits
+/// into k branch runs, the walking worker snapshots the pre-branch state
+/// k−1 times, spawns one task per earlier run, and continues the last run
+/// in place. Each task exclusively owns its `SimState` (per-thread state
+/// ownership — states are never shared across tasks), so disjoint trie
+/// subtrees execute concurrently with no synchronisation beyond the spawn.
+/// An idle worker steals the *oldest* pending task — the shallowest, and
+/// therefore largest, subtree.
+///
 /// Reproducibility contract: preparation consumes no randomness, and each
 /// leaf draws its spec's shots from the same per-trajectory Philox
 /// substream the independent schedule uses — so records, realised
 /// probabilities and therefore every downstream estimate and dataset byte
-/// are **bit-for-bit identical** between the two schedules (see
-/// tests/test_scheduler.cpp).
+/// are **bit-for-bit identical** between the two schedules *and across
+/// every thread count* (see tests/test_scheduler.cpp). Only completion
+/// order depends on scheduling.
 ///
-/// Memory: the DFS keeps one state snapshot alive per fork level on the
-/// current root-to-leaf path (worst case one per noise site). For very
-/// wide states prefer the independent schedule or more, smaller device
-/// chunks.
+/// Memory: pending subtree tasks each hold one state snapshot. LIFO
+/// self-scheduling keeps a worker on its current root-to-leaf path, so the
+/// live-snapshot count tracks (fork depth + stolen subtrees), not the whole
+/// frontier.
 
 #include <cstdint>
 #include <functional>
@@ -31,33 +42,41 @@
 
 #include "ptsbe/common/rng.hpp"
 #include "ptsbe/core/backend.hpp"
+#include "ptsbe/core/trajectory_executor.hpp"
 
 namespace ptsbe::be {
 
-/// Delivery callback: `spec_index` is the index into the original spec
+/// Delivery callback, invoked from worker threads: `worker` is the
+/// executing worker's id, `spec_index` the index into the original spec
 /// vector; the ShotResult carries records, realised probability and the
-/// sampling wall-clock (preparation time is aggregated in the return value
-/// of run_shared_prefix, since shared prefixes have no per-spec owner).
-using SpecResultFn =
-    std::function<void(std::size_t spec_index, ShotResult&& result)>;
+/// sampling wall-clock. Implementations must be thread-safe (the BE engine
+/// wraps the executor's lock-free `emit`).
+using SpecResultFn = std::function<void(std::size_t worker,
+                                        std::size_t spec_index,
+                                        ShotResult&& result)>;
 
-/// Execute the trajectories selected by `order` (indices into `specs`,
-/// sorted lexicographically by their dense site→branch `assignments`) with
-/// shared-prefix scheduling, emitting one result per spec in trie DFS
-/// order. `master.substream(t)` seeds spec t's sampling, matching the
-/// independent path. Returns the preparation wall-clock for the whole
-/// group (gate sweeps + branch applications + forks).
+/// Seed the shared-prefix walk over the trajectories selected by `order`
+/// (indices into `specs`, sorted lexicographically by their dense
+/// site→branch `assignments`) onto `executor` as one root task; forks spawn
+/// further tasks. Call `executor.drain(...)` afterwards to run the walk.
+/// One result is emitted per spec; `master.substream(t)` seeds spec t's
+/// sampling, matching the independent path bit for bit.
 ///
-/// Preconditions: `backend.make_state` must return non-null, and `order`
-/// must be sorted so that specs agreeing on every site up to any depth are
-/// contiguous (execute_streaming sorts once and hands out contiguous
-/// chunks; a chunk boundary only costs re-simulation of one prefix).
-double run_shared_prefix(const Backend& backend, const NoisyCircuit& noisy,
-                         const ExecPlan& plan,
+/// `worker_prepare_seconds` must have one slot per executor worker; each
+/// task adds its preparation wall-clock (gate sweeps, branch applications,
+/// forks — sampling excluded) to its worker's slot. Slots are single-writer
+/// per worker; read them after `drain` returns (the join publishes them).
+///
+/// Every argument must outlive the drain. Preconditions: the backend can
+/// fork states, and `order` is sorted so specs agreeing on every site up to
+/// any depth are contiguous.
+void spawn_shared_prefix(TrajectoryExecutor& executor, const Backend& backend,
+                         const NoisyCircuit& noisy, const ExecPlan& plan,
                          const std::vector<TrajectorySpec>& specs,
                          const std::vector<std::vector<std::size_t>>& assignments,
                          std::span<const std::size_t> order,
-                         const RngStream& master, const SpecResultFn& emit);
+                         const RngStream& master, const SpecResultFn& emit,
+                         std::span<double> worker_prepare_seconds);
 
 /// Comparator-friendly helper: dense assignments for every spec, indexed
 /// like `specs`.

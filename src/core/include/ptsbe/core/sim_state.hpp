@@ -15,6 +15,15 @@
 /// exactly what forking saves many of. Backends whose state cannot be
 /// snapshotted (the stabilizer frame sampler folds preparation and sampling
 /// together) simply do not offer one; see `Backend::make_state`.
+///
+/// Threading: a `SimState` instance is **not** thread-safe and is never
+/// shared. The multi-threaded scheduler gives every executor task exclusive
+/// ownership of its state (the `SimStatePtr` moves into the task closure);
+/// `clone()` at a fork point is the only cross-task data flow, and it
+/// happens entirely on the spawning worker before the child task is
+/// published. `clone()` must be a bitwise-faithful deep copy — the clone
+/// and the original must evolve through identical floating-point
+/// trajectories, which is what makes records thread-count-invariant.
 
 #include <cstdint>
 #include <memory>

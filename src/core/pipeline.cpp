@@ -50,6 +50,11 @@ Pipeline& Pipeline::schedule(be::Schedule schedule) {
   return *this;
 }
 
+Pipeline& Pipeline::threads(std::size_t num_threads) {
+  exec_.threads = num_threads;
+  return *this;
+}
+
 Pipeline& Pipeline::devices(std::size_t num_devices) {
   exec_.num_devices = num_devices;
   return *this;
@@ -87,6 +92,8 @@ RunResult Pipeline::run() const {
   out.strategy = strategy_name_;
   out.backend = exec_.backend;
   out.num_specs = specs.size();
+  out.schedule_requested = exec_.schedule;
+  out.schedule_executed = out.result.schedule;
   return out;
 }
 

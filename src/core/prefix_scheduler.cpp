@@ -1,5 +1,6 @@
 #include "ptsbe/core/prefix_scheduler.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "ptsbe/common/error.hpp"
@@ -9,8 +10,12 @@ namespace ptsbe::be {
 
 namespace {
 
-/// DFS context shared by every node of one scheduled group.
+/// Context shared by every task of one scheduled walk, jointly owned by the
+/// task closures (tasks outlive the spawning call). Immutable during the
+/// walk except `prepare_seconds`, whose slots are single-writer (one per
+/// executor worker).
 struct Walk {
+  TrajectoryExecutor& executor;
   const ExecPlan& plan;
   const NoisyCircuit& noisy;
   const std::vector<TrajectorySpec>& specs;
@@ -18,28 +23,20 @@ struct Walk {
   const RngStream& master;
   const SpecResultFn& emit;
   const std::vector<unsigned> measured;
-  /// Time spent in sampling calls / in the emit callback (which may run a
-  /// slow sink). Both are subtracted from the DFS wall-clock so the
-  /// reported preparation split covers only sweeps, branches and forks.
-  double sample_seconds = 0.0;
-  double emit_seconds = 0.0;
+  const std::span<double> prepare_seconds;
 };
 
-/// Deliver one result, keeping the callback's latency out of prep time.
-void emit_timed(Walk& walk, std::size_t t, ShotResult&& result) {
-  WallTimer timer;
-  walk.emit(t, std::move(result));
-  walk.emit_seconds += timer.seconds();
-}
+using WalkPtr = std::shared_ptr<const Walk>;
 
 /// Report every spec of `group` as unrealizable (the shared prefix hit a
 /// zero-probability Kraus branch — exactly what the independent path
 /// reports for each of them).
-void emit_unrealizable(Walk& walk, std::span<const std::size_t> group) {
+void emit_unrealizable(const Walk& walk, std::size_t worker,
+                       std::span<const std::size_t> group) {
   for (std::size_t t : group) {
     ShotResult result;
     result.realized_probability = 0.0;
-    emit_timed(walk, t, std::move(result));
+    walk.emit(worker, t, std::move(result));
   }
 }
 
@@ -47,9 +44,11 @@ void emit_unrealizable(Walk& walk, std::span<const std::size_t> group) {
 /// budget from its own substream. Duplicate assignments are legal input, so
 /// every spec but the last samples from a fresh clone — sampling may touch
 /// the representation (MPS canonicalisation), and each spec must see the
-/// state exactly as its independent preparation left it.
-void emit_leaves(Walk& walk, SimStatePtr state, double realized,
-                 std::span<const std::size_t> group) {
+/// state exactly as its independent preparation left it. Returns the
+/// sampling wall-clock (excluded from preparation time).
+double emit_leaves(const Walk& walk, std::size_t worker, SimStatePtr state,
+                   double realized, std::span<const std::size_t> group) {
+  double sample_seconds = 0.0;
   for (std::size_t i = 0; i < group.size(); ++i) {
     const std::size_t t = group[i];
     SimStatePtr fork;
@@ -65,83 +64,110 @@ void emit_leaves(Walk& walk, SimStatePtr state, double realized,
     result.records = reduce_to_records(
         sampler->sample_shots(walk.specs[t].shots, rng), walk.measured);
     result.sample_seconds = timer.seconds();
-    walk.sample_seconds += result.sample_seconds;
-    emit_timed(walk, t, std::move(result));
+    sample_seconds += result.sample_seconds;
+    walk.emit(worker, t, std::move(result));
   }
+  return sample_seconds;
 }
 
-/// Simulate from plan step `step_index` for the contiguous `group`, whose
-/// members agree on every site step before `step_index`. Owns `state`.
-/// Recursion depth equals the number of *fork* points on the path, not the
-/// number of sites: unanimous decisions advance iteratively.
-void dfs(Walk& walk, SimStatePtr state, double realized, std::size_t step_index,
-         std::span<const std::size_t> group) {
-  for (std::size_t s = step_index; s < walk.plan.steps.size(); ++s) {
-    const PlanStep& step = walk.plan.steps[s];
-    if (step.is_gate) {
-      state->apply_gate(step.matrix, step.qubits);
+void spawn_subtree(const WalkPtr& walk, std::size_t worker, SimStatePtr state,
+                   double realized, std::size_t step,
+                   std::span<const std::size_t> group);
+
+/// Simulate from plan step `step` for the contiguous `group`, whose members
+/// agree on every site step before `step`. Exclusively owns `state` — the
+/// per-thread ownership that makes subtrees synchronisation-free. Runs
+/// iteratively; forks spawn sibling tasks rather than recursing.
+void run_subtree(const WalkPtr& walk, std::size_t worker, SimStatePtr state,
+                 double realized, std::size_t step,
+                 std::span<const std::size_t> group) {
+  if (walk->executor.cancelled()) return;
+  WallTimer timer;
+  std::size_t s = step;
+  while (s < walk->plan.steps.size()) {
+    const PlanStep& plan_step = walk->plan.steps[s];
+    if (plan_step.is_gate) {
+      state->apply_gate(plan_step.matrix, plan_step.qubits);
+      ++s;
       continue;
     }
-    const NoiseSite& site = walk.noisy.sites()[step.site];
+    if (walk->executor.cancelled()) {
+      walk->prepare_seconds[worker] += timer.seconds();
+      return;
+    }
     // Partition the (sorted) group into runs of equal branch choice.
+    const std::size_t site_id = plan_step.site;
     std::size_t first = 0;
     std::vector<std::pair<std::size_t, std::size_t>> runs;  // [begin, end)
     while (first < group.size()) {
-      const std::size_t branch = walk.assignments[group[first]][step.site];
+      const std::size_t branch = walk->assignments[group[first]][site_id];
       std::size_t last = first + 1;
       while (last < group.size() &&
-             walk.assignments[group[last]][step.site] == branch)
+             walk->assignments[group[last]][site_id] == branch)
         ++last;
       runs.emplace_back(first, last);
       first = last;
     }
-    if (runs.size() == 1) {  // unanimous: no fork, continue in place
-      if (!apply_branch(*state, site,
-                        walk.assignments[group.front()][step.site], realized)) {
-        emit_unrealizable(walk, group);
-        return;
+    if (runs.size() > 1) {
+      // Fork point = task-spawn point: snapshot the pre-branch state once
+      // per earlier run and hand each subtree to the executor; this task
+      // continues the last run in place (no snapshot). A spawned task
+      // re-enters at this same step, where its narrowed group is unanimous.
+      for (std::size_t r = 0; r + 1 < runs.size(); ++r) {
+        const auto [begin, end] = runs[r];
+        spawn_subtree(walk, worker, state->clone(), realized, s,
+                      group.subspan(begin, end - begin));
       }
-      continue;
+      const auto [begin, end] = runs.back();
+      group = group.subspan(begin, end - begin);
+      continue;  // same step, now unanimous
     }
-    for (std::size_t r = 0; r < runs.size(); ++r) {
-      const auto [begin, end] = runs[r];
-      const std::span<const std::size_t> sub = group.subspan(begin, end - begin);
-      // The last run takes over the parent state; earlier runs fork it.
-      SimStatePtr child =
-          (r + 1 == runs.size()) ? std::move(state) : state->clone();
-      double child_realized = realized;
-      if (!apply_branch(*child, site, walk.assignments[sub.front()][step.site],
-                        child_realized)) {
-        emit_unrealizable(walk, sub);
-        continue;
-      }
-      dfs(walk, std::move(child), child_realized, s + 1, sub);
+    if (!apply_branch(*state, walk->noisy.sites()[site_id],
+                      walk->assignments[group.front()][site_id], realized)) {
+      walk->prepare_seconds[worker] += timer.seconds();
+      emit_unrealizable(*walk, worker, group);
+      return;
     }
-    return;
+    ++s;
   }
-  emit_leaves(walk, std::move(state), realized, group);
+  const double sample_seconds =
+      emit_leaves(*walk, worker, std::move(state), realized, group);
+  walk->prepare_seconds[worker] += timer.seconds() - sample_seconds;
+}
+
+void spawn_subtree(const WalkPtr& walk, std::size_t worker, SimStatePtr state,
+                   double realized, std::size_t step,
+                   std::span<const std::size_t> group) {
+  walk->executor.spawn_from(
+      worker, [walk, state = std::move(state), realized, step,
+               group](std::size_t self) mutable {
+        run_subtree(walk, self, std::move(state), realized, step, group);
+      });
 }
 
 }  // namespace
 
-double run_shared_prefix(const Backend& backend, const NoisyCircuit& noisy,
-                         const ExecPlan& plan,
+void spawn_shared_prefix(TrajectoryExecutor& executor, const Backend& backend,
+                         const NoisyCircuit& noisy, const ExecPlan& plan,
                          const std::vector<TrajectorySpec>& specs,
                          const std::vector<std::vector<std::size_t>>& assignments,
                          std::span<const std::size_t> order,
-                         const RngStream& master, const SpecResultFn& emit) {
-  if (order.empty()) return 0.0;
-  Walk walk{plan,   noisy, specs, assignments,
-            master, emit,  noisy.circuit().measured_qubits()};
+                         const RngStream& master, const SpecResultFn& emit,
+                         std::span<double> worker_prepare_seconds) {
+  if (order.empty()) return;
+  PTSBE_REQUIRE(worker_prepare_seconds.size() == executor.num_workers(),
+                "spawn_shared_prefix needs one prepare-seconds slot per "
+                "executor worker");
   SimStatePtr root = backend.make_state(noisy.num_qubits());
   PTSBE_REQUIRE(root != nullptr,
                 "backend '" + backend.name() +
                     "' cannot fork states; use the independent schedule");
-  WallTimer timer;
-  dfs(walk, std::move(root), 1.0, 0, order);
-  // Preparation = the DFS wall-clock minus the timed sampling calls and
-  // the emit callbacks (delivery/sink latency is not preparation).
-  return timer.seconds() - walk.sample_seconds - walk.emit_seconds;
+  const WalkPtr walk = std::make_shared<const Walk>(
+      Walk{executor, plan, noisy, specs, assignments, master, emit,
+           noisy.circuit().measured_qubits(), worker_prepare_seconds});
+  executor.spawn([walk, root = std::move(root), order](std::size_t self) mutable {
+    run_subtree(walk, self, std::move(root), 1.0, 0, order);
+  });
 }
 
 std::vector<std::vector<std::size_t>> all_assignments(

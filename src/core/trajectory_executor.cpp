@@ -1,0 +1,229 @@
+#include "ptsbe/core/trajectory_executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::be {
+
+std::size_t resolved_threads(const Options& options) noexcept {
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  return std::max({threads, options.num_devices, std::size_t{1}});
+}
+
+TrajectoryExecutor::TrajectoryExecutor(std::size_t num_workers) {
+  const std::size_t count = std::max<std::size_t>(1, num_workers);
+  queues_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(count);
+  // Threads start in drain(): seeding finishes before any task runs, which
+  // is what makes single-worker execution order deterministic.
+}
+
+TrajectoryExecutor::~TrajectoryExecutor() {
+  // drain() already joined on the normal path; this covers a drain that was
+  // never reached (e.g. an exception while seeding).
+  stop_.store(true, std::memory_order_release);
+  bump_events();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  for (CompletedNode* node = completed_.exchange(nullptr);
+       node != nullptr;) {
+    CompletedNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void TrajectoryExecutor::spawn(WorkerTask task) {
+  PTSBE_REQUIRE(static_cast<bool>(task), "cannot spawn an empty task");
+  const std::size_t target = seed_cursor_++ % queues_.size();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  bump_events();
+}
+
+void TrajectoryExecutor::spawn_from(std::size_t worker, WorkerTask task) {
+  PTSBE_REQUIRE(static_cast<bool>(task), "cannot spawn an empty task");
+  PTSBE_REQUIRE(worker < queues_.size(), "spawn_from: bad worker id");
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(queues_[worker]->mutex);
+    queues_[worker]->tasks.push_back(std::move(task));
+  }
+  bump_events();
+}
+
+void TrajectoryExecutor::emit(TrajectoryBatch&& batch) {
+  // Backpressure: with the drain loop more than the bound behind, wait for
+  // it to consume a round before producing more. The bound is soft (racing
+  // workers may overshoot by a few batches) — what matters is that the
+  // undelivered set stays O(workers), not O(corpus). Cancellation releases
+  // waiters: the drain loop keeps consuming (and dropping) regardless.
+  const std::size_t limit = kMaxQueuedPerWorker * queues_.size();
+  while (!cancelled()) {
+    const std::uint64_t seen = drained_epoch_.load(std::memory_order_acquire);
+    if (queued_.load(std::memory_order_acquire) < limit) break;
+    drained_epoch_.wait(seen, std::memory_order_acquire);
+  }
+  queued_.fetch_add(1, std::memory_order_acq_rel);
+  auto* node = new CompletedNode{std::move(batch), nullptr};
+  node->next = completed_.load(std::memory_order_relaxed);
+  while (!completed_.compare_exchange_weak(node->next, node,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+  }
+  bump_events();
+}
+
+void TrajectoryExecutor::cancel() noexcept {
+  cancelled_.store(true, std::memory_order_release);
+  // Release emit() backpressure waiters so cancelled tasks finish fast.
+  drained_epoch_.fetch_add(1, std::memory_order_release);
+  drained_epoch_.notify_all();
+}
+
+void TrajectoryExecutor::report_error(std::exception_ptr error) noexcept {
+  {
+    std::lock_guard lock(error_mutex_);
+    if (!task_error_) task_error_ = std::move(error);
+  }
+  cancel();
+}
+
+void TrajectoryExecutor::bump_events() noexcept {
+  events_.fetch_add(1, std::memory_order_release);
+  events_.notify_all();
+}
+
+WorkerTask TrajectoryExecutor::try_pop(std::size_t self) {
+  {
+    // Own deque, newest first: a DFS worker stays on the subtree it just
+    // forked, so live state snapshots track the current path, not the
+    // whole frontier.
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard lock(own.mutex);
+    if (!own.tasks.empty()) {
+      WorkerTask task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  // Steal oldest from a victim: the shallowest pending subtree is the
+  // biggest chunk of work available.
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      WorkerTask task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void TrajectoryExecutor::finish_task() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) bump_events();
+}
+
+void TrajectoryExecutor::worker_loop(std::size_t self) {
+  while (true) {
+    if (WorkerTask task = try_pop(self)) {
+      try {
+        task(self);
+      } catch (...) {
+        report_error(std::current_exception());
+      }
+      finish_task();
+      continue;
+    }
+    const std::uint64_t seen = events_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (WorkerTask task = try_pop(self)) {
+      try {
+        task(self);
+      } catch (...) {
+        report_error(std::current_exception());
+      }
+      finish_task();
+      continue;
+    }
+    events_.wait(seen, std::memory_order_acquire);
+  }
+}
+
+void TrajectoryExecutor::drain_completed(
+    const std::function<void(TrajectoryBatch&&)>& deliver,
+    std::exception_ptr& delivery_error) {
+  CompletedNode* list = completed_.exchange(nullptr, std::memory_order_acquire);
+  if (list == nullptr) return;
+  // The Treiber stack pops newest-first; reverse to restore push order
+  // (with one worker that is exactly spec completion order).
+  CompletedNode* ordered = nullptr;
+  while (list != nullptr) {
+    CompletedNode* next = list->next;
+    list->next = ordered;
+    ordered = list;
+    list = next;
+  }
+  std::size_t consumed = 0;
+  while (ordered != nullptr) {
+    CompletedNode* next = ordered->next;
+    if (!delivery_error) {
+      try {
+        deliver(std::move(ordered->batch));
+      } catch (...) {
+        // First delivery failure cancels the run; in-flight trajectories
+        // complete and their batches are dropped below.
+        delivery_error = std::current_exception();
+        cancel();
+      }
+    }
+    delete ordered;
+    ordered = next;
+    ++consumed;
+  }
+  queued_.fetch_sub(consumed, std::memory_order_acq_rel);
+  // Wake emit() backpressure waiters: capacity just freed up.
+  drained_epoch_.fetch_add(1, std::memory_order_release);
+  drained_epoch_.notify_all();
+}
+
+void TrajectoryExecutor::drain(
+    const std::function<void(TrajectoryBatch&&)>& deliver) {
+  PTSBE_REQUIRE(workers_.empty(), "drain() may only be called once");
+  std::exception_ptr delivery_error;
+  if (pending_.load(std::memory_order_acquire) != 0) {
+    for (std::size_t i = 0; i < queues_.size(); ++i)
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    while (true) {
+      drain_completed(deliver, delivery_error);
+      const std::uint64_t seen = events_.load(std::memory_order_acquire);
+      if (pending_.load(std::memory_order_acquire) == 0 &&
+          completed_.load(std::memory_order_acquire) == nullptr)
+        break;
+      if (completed_.load(std::memory_order_acquire) != nullptr) continue;
+      events_.wait(seen, std::memory_order_acquire);
+    }
+    stop_.store(true, std::memory_order_release);
+    bump_events();
+    for (std::thread& worker : workers_) worker.join();
+    // Workers may have emitted between the last drain and their exit.
+    drain_completed(deliver, delivery_error);
+  }
+  if (delivery_error) std::rethrow_exception(delivery_error);
+  std::lock_guard lock(error_mutex_);
+  if (task_error_) std::rethrow_exception(task_error_);
+}
+
+}  // namespace ptsbe::be

@@ -12,6 +12,7 @@
 #include "ptsbe/core/batched_execution.hpp"
 #include "ptsbe/core/dataset.hpp"
 #include "ptsbe/core/pts.hpp"
+#include "ptsbe/core/trajectory_executor.hpp"
 #include "ptsbe/densmat/density_matrix.hpp"
 #include "ptsbe/noise/channels.hpp"
 
@@ -143,6 +144,42 @@ TEST(BatchedExecution, MpsBackendMatchesStatevectorBackend) {
     for (auto r : b.records) fm[r] += 1.0 / n;
   for (std::uint64_t i = 0; i < 16; ++i)
     EXPECT_NEAR(fv[i], fm[i], 0.03) << "index " << i;
+}
+
+TEST(BatchedExecution, ResolvedThreadsMapsKnobsToWorkerCount) {
+  be::Options options;  // threads = 1, num_devices = 1
+  EXPECT_EQ(be::resolved_threads(options), 1u);
+  options.threads = 6;
+  EXPECT_EQ(be::resolved_threads(options), 6u);
+  // The legacy devices knob maps onto the same pool: effective = max.
+  options.num_devices = 8;
+  EXPECT_EQ(be::resolved_threads(options), 8u);
+  options.threads = 12;
+  EXPECT_EQ(be::resolved_threads(options), 12u);
+  // 0 = hardware concurrency, never less than one worker.
+  options.threads = 0;
+  options.num_devices = 1;
+  EXPECT_GE(be::resolved_threads(options), 1u);
+}
+
+TEST(BatchedExecution, ThreadsMatchSingleThreadBitForBit) {
+  const NoisyCircuit noisy = noisy_ghz(3, 0.1);
+  RngStream rng(3);
+  pts::Options opt;
+  opt.nsamples = 100;
+  opt.nshots = 20;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  be::Options one, eight;
+  one.threads = 1;
+  eight.threads = 8;
+  const auto r1 = be::execute(noisy, specs, one);
+  const auto r8 = be::execute(noisy, specs, eight);
+  ASSERT_EQ(r1.batches.size(), r8.batches.size());
+  for (std::size_t i = 0; i < r1.batches.size(); ++i) {
+    EXPECT_EQ(r1.batches[i].records, r8.batches[i].records);
+    EXPECT_EQ(r1.batches[i].realized_probability,
+              r8.batches[i].realized_probability);
+  }
 }
 
 TEST(BatchedExecution, MultiDeviceMatchesSingleDevice) {

@@ -117,6 +117,28 @@ TEST(Pipeline, SampleExposesThePtsStageOnly) {
     EXPECT_TRUE(specs[i].same_assignment(run.result.batches[i].spec)) << i;
 }
 
+TEST(Pipeline, ThreadCountDoesNotChangeRecords) {
+  pts::StrategyConfig config;
+  config.nsamples = 200;
+  config.nshots = 64;
+  Pipeline pipeline(ghz_circuit(), ghz_noise());
+  pipeline.strategy("probabilistic", config).seed(kSeed);
+  const RunResult serial = pipeline.threads(1).run();
+  // threads(0) = hardware concurrency; any explicit count works too.
+  const RunResult hardware = pipeline.threads(0).run();
+  const RunResult eight = pipeline.threads(8).run();
+  ASSERT_EQ(serial.result.batches.size(), hardware.result.batches.size());
+  ASSERT_EQ(serial.result.batches.size(), eight.result.batches.size());
+  for (std::size_t i = 0; i < serial.result.batches.size(); ++i) {
+    EXPECT_EQ(serial.result.batches[i].records,
+              hardware.result.batches[i].records)
+        << i;
+    EXPECT_EQ(serial.result.batches[i].records,
+              eight.result.batches[i].records)
+        << i;
+  }
+}
+
 TEST(Pipeline, DeviceCountDoesNotChangeRecords) {
   pts::StrategyConfig config;
   config.nsamples = 200;

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ptsbe/core/dataset.hpp"
@@ -235,9 +236,52 @@ TEST(SharedPrefixScheduler, StabilizerBackendFallsBackToIndependent) {
   opt.nshots = 20;
   opt.merge_duplicates = true;
   const auto specs = pts::sample_probabilistic(noisy, opt, rng);
-  expect_results_identical(
-      run_schedule(noisy, specs, be::Schedule::kIndependent, "stabilizer"),
-      run_schedule(noisy, specs, be::Schedule::kSharedPrefix, "stabilizer"));
+  const be::Result independent =
+      run_schedule(noisy, specs, be::Schedule::kIndependent, "stabilizer");
+  const be::Result shared =
+      run_schedule(noisy, specs, be::Schedule::kSharedPrefix, "stabilizer");
+  expect_results_identical(independent, shared);
+  // The fallback is deterministic and *surfaced*: the result reports the
+  // schedule that actually executed, not the one requested.
+  EXPECT_EQ(independent.schedule, be::Schedule::kIndependent);
+  EXPECT_EQ(shared.schedule, be::Schedule::kIndependent);
+}
+
+TEST(SharedPrefixScheduler, FallbackIsSurfacedThroughRunResult) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).measure_all();
+  NoiseModel nm;
+  nm.add_all_gate_noise(channels::bit_flip(0.05));
+  pts::StrategyConfig cfg;
+  cfg.nsamples = 80;
+  cfg.nshots = 10;
+
+  const RunResult stab = Pipeline(nm.apply(c))
+                             .strategy("probabilistic", cfg)
+                             .backend("stabilizer")
+                             .schedule(be::Schedule::kSharedPrefix)
+                             .seed(11)
+                             .run();
+  EXPECT_EQ(stab.schedule_requested, be::Schedule::kSharedPrefix);
+  EXPECT_EQ(stab.schedule_executed, be::Schedule::kIndependent);
+  EXPECT_TRUE(stab.schedule_fell_back());
+
+  const RunResult sv = Pipeline(nm.apply(c))
+                           .strategy("probabilistic", cfg)
+                           .backend("statevector")
+                           .schedule(be::Schedule::kSharedPrefix)
+                           .seed(11)
+                           .run();
+  EXPECT_EQ(sv.schedule_requested, be::Schedule::kSharedPrefix);
+  EXPECT_EQ(sv.schedule_executed, be::Schedule::kSharedPrefix);
+  EXPECT_FALSE(sv.schedule_fell_back());
+
+  const RunResult indep = Pipeline(nm.apply(c))
+                              .strategy("probabilistic", cfg)
+                              .backend("statevector")
+                              .seed(11)
+                              .run();
+  EXPECT_FALSE(indep.schedule_fell_back());
 }
 
 TEST(SharedPrefixScheduler, PipelineScheduleKnobRoundTrips) {
@@ -272,7 +316,115 @@ TEST(UniqueShotFraction, SinglePassMatchesDefinition) {
   b.records = {3, 4};
   result.batches = {a, b};
   EXPECT_DOUBLE_EQ(result.unique_shot_fraction(), 4.0 / 6.0);
+}
+
+TEST(UniqueShotFraction, EmptyResultsReturnZeroNotNaN) {
+  // No batches at all.
   EXPECT_DOUBLE_EQ(be::Result{}.unique_shot_fraction(), 0.0);
+  // Batches exist but every one is unrealizable (zero records): the shot
+  // total is 0 and the fraction must be 0.0, not 0/0 = NaN.
+  be::Result unrealizable_only;
+  be::TrajectoryBatch dud;
+  dud.realized_probability = 0.0;
+  unrealizable_only.batches = {dud, dud};
+  EXPECT_DOUBLE_EQ(unrealizable_only.unique_shot_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(be::unique_fraction({}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded determinism matrix: for every registered backend ×
+// registered strategy × schedule × fusion setting, executing with threads=1
+// must produce batches — and dataset bytes — bit-identical to threads ∈
+// {2, hardware_concurrency}. This is the acceptance gate that makes the
+// work-stealing executor a pure optimisation.
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> matrix_thread_counts() {
+  std::vector<std::size_t> counts = {2};
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (hw != 1 && hw != 2) counts.push_back(hw);
+  return counts;
+}
+
+TEST(DeterminismMatrix, ThreadCountNeverChangesRecordsOrBytes) {
+  const NoisyCircuit noisy = ghz_program(5, 0.03);
+  const std::vector<std::size_t> thread_counts = matrix_thread_counts();
+  const std::string ref_path = "/tmp/ptsbe_test_matrix_ref.bin";
+  const std::string got_path = "/tmp/ptsbe_test_matrix_got.bin";
+  for (const std::string& backend : BackendRegistry::instance().names()) {
+    if (backend == "tensornet") continue;  // alias of "mps"
+    for (const std::string& strategy :
+         pts::StrategyRegistry::instance().names()) {
+      pts::StrategyConfig cfg;
+      cfg.nsamples = 150;
+      cfg.nshots = 16;
+      cfg.probability_cutoff = 1e-5;
+      cfg.p_min = 1e-6;
+      cfg.p_max = 1e-1;
+      Pipeline pipeline(noisy);
+      pipeline.strategy(strategy, cfg).seed(17);
+      const std::vector<TrajectorySpec> specs = pipeline.sample();
+      ASSERT_FALSE(specs.empty()) << strategy;
+      for (const be::Schedule schedule :
+           {be::Schedule::kIndependent, be::Schedule::kSharedPrefix}) {
+        for (const bool fuse : {false, true}) {
+          be::Options options;
+          options.backend = backend;
+          options.schedule = schedule;
+          options.config.fuse_gates = fuse;
+          options.threads = 1;
+          const be::Result reference = be::execute(noisy, specs, options);
+          dataset::write_binary(ref_path, reference);
+          const std::string ref_bytes = slurp(ref_path);
+          ASSERT_FALSE(ref_bytes.empty());
+          for (const std::size_t threads : thread_counts) {
+            SCOPED_TRACE("backend=" + backend + " strategy=" + strategy +
+                         " schedule=" + to_string(schedule) +
+                         " fuse=" + std::to_string(fuse) +
+                         " threads=" + std::to_string(threads));
+            options.threads = threads;
+            const be::Result result = be::execute(noisy, specs, options);
+            expect_results_identical(reference, result);
+            EXPECT_EQ(reference.schedule, result.schedule);
+            dataset::write_binary(got_path, result);
+            EXPECT_EQ(ref_bytes, slurp(got_path));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DeterminismMatrix, StreamingThreadsMatchMaterialisedReference) {
+  // The streaming path shares the executor with execute(), but pin it
+  // separately: batches delivered out of order under threads>1 must carry
+  // the same payloads at their spec indices.
+  const NoisyCircuit noisy = ghz_program(5, 0.03);
+  RngStream rng(53);
+  pts::Options opt;
+  opt.nsamples = 200;
+  opt.nshots = 25;
+  opt.merge_duplicates = true;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  ASSERT_GT(specs.size(), 4u);
+  for (const be::Schedule schedule :
+       {be::Schedule::kIndependent, be::Schedule::kSharedPrefix}) {
+    be::Options options;
+    options.schedule = schedule;
+    options.threads = 1;
+    const be::Result reference = be::execute(noisy, specs, options);
+    options.threads = 4;
+    be::Result streamed;
+    streamed.batches.resize(specs.size());
+    const be::StreamSummary summary = be::execute_streaming(
+        noisy, specs, options, [&](be::TrajectoryBatch&& batch) {
+          streamed.batches[batch.spec_index] = std::move(batch);
+        });
+    SCOPED_TRACE("schedule=" + to_string(schedule));
+    EXPECT_EQ(summary.num_batches, specs.size());
+    expect_results_identical(reference, streamed);
+  }
 }
 
 }  // namespace

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ptsbe/core/dataset.hpp"
@@ -98,6 +100,90 @@ TEST(ExecuteStreaming, SingleDeviceDeliversInSpecOrder) {
                               });
   ASSERT_EQ(order.size(), specs.size());
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ExecuteStreaming, SinkRunsOnlyOnTheCallingThread) {
+  // The documented sink contract: workers hand batches over a lock-free
+  // queue and the sink runs on execute_streaming's caller — so sinks need
+  // no locking even under heavy thread counts.
+  const NoisyCircuit noisy = ghz_program();
+  const auto specs = sample_specs(noisy, 200, 32);
+  be::Options options;
+  options.threads = 4;
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t delivered = 0;
+  (void)be::execute_streaming(noisy, specs, options,
+                              [&](be::TrajectoryBatch&&) {
+                                EXPECT_EQ(std::this_thread::get_id(), caller);
+                                ++delivered;
+                              });
+  EXPECT_EQ(delivered, specs.size());
+}
+
+TEST(ExecuteStreaming, ThreadsDeliverEveryBatchExactlyOnce) {
+  const NoisyCircuit noisy = ghz_program();
+  const auto specs = sample_specs(noisy);
+  ASSERT_GT(specs.size(), 4u);
+  be::Options options;
+  options.threads = 8;
+  const be::Result reference = be::execute(noisy, specs, {});
+  std::vector<std::size_t> deliveries(specs.size(), 0);
+  std::vector<be::TrajectoryBatch> streamed(specs.size());
+  const be::StreamSummary summary = be::execute_streaming(
+      noisy, specs, options, [&](be::TrajectoryBatch&& batch) {
+        ASSERT_LT(batch.spec_index, specs.size());
+        deliveries[batch.spec_index] += 1;
+        streamed[batch.spec_index] = std::move(batch);
+      });
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(deliveries[i], 1u) << "spec " << i;
+  EXPECT_EQ(summary.num_batches, specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    expect_batches_equal(streamed[i], reference.batches[i]);
+}
+
+TEST(ExecuteStreaming, SlowSinkAppliesBackpressureAndLosesNothing) {
+  // A sink slower than the workers forces the executor's bounded
+  // completion queue to fill; emit() then backpressures the workers
+  // instead of accumulating the whole corpus in memory. Every batch must
+  // still arrive exactly once, bit-identical to the serial reference.
+  const NoisyCircuit noisy = ghz_program();
+  const auto specs = sample_specs(noisy, 150, 8);
+  ASSERT_GT(specs.size(), 8u);
+  const be::Result reference = be::execute(noisy, specs, {});
+  be::Options options;
+  options.threads = 4;
+  std::vector<std::size_t> deliveries(specs.size(), 0);
+  std::vector<be::TrajectoryBatch> streamed(specs.size());
+  (void)be::execute_streaming(
+      noisy, specs, options, [&](be::TrajectoryBatch&& batch) {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+        deliveries[batch.spec_index] += 1;
+        streamed[batch.spec_index] = std::move(batch);
+      });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(deliveries[i], 1u) << "spec " << i;
+    expect_batches_equal(streamed[i], reference.batches[i]);
+  }
+}
+
+TEST(ExecuteStreaming, SinkExceptionPropagatesUnderThreads) {
+  const NoisyCircuit noisy = ghz_program();
+  const auto specs = sample_specs(noisy, 120, 8);
+  ASSERT_GT(specs.size(), 6u);
+  be::Options options;
+  options.threads = 4;
+  std::size_t delivered = 0;
+  EXPECT_THROW(
+      (void)be::execute_streaming(noisy, specs, options,
+                                  [&](be::TrajectoryBatch&&) {
+                                    if (++delivered == 3)
+                                      throw runtime_failure("sink full");
+                                  }),
+      runtime_failure);
+  // The failing call is the last: the sink is never invoked again after it
+  // throws (remaining batches are dropped, pending specs are skipped).
+  EXPECT_EQ(delivered, 3u);
 }
 
 TEST(ExecuteStreaming, SinkExceptionPropagatesAndStopsDelivery) {
