@@ -1,0 +1,203 @@
+// Service-engine throughput: jobs/sec through one shared serve::Engine at
+// 1 vs N client threads, plus the ExecPlan-cache effect (hit rate, and a
+// cache-on vs cache-off ablation on the same job stream).
+//
+// The job stream models a small tenant population: a handful of distinct
+// `.ptq` circuits submitted over and over with varying seeds — the regime
+// the plan cache is built for (every repeat skips fusion+lowering). Jobs
+// are submitted from the client threads and waited to completion; the
+// clock runs from first submit to last wait, so the number includes
+// admission, parsing, cache lookups and execution.
+//
+// Honesty convention (PR 4): the JSON records hardware_concurrency. On a
+// 1-core container the multi-client rows collapse to ~1x — the cache hit
+// rate and the determinism of the served results are then the load-bearing
+// output; expect client-side scaling up to min(workers, cores) elsewhere.
+//
+//   bench_serve_throughput [output.json] [--tiny]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/io/ptq.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/serve/engine.hpp"
+
+namespace {
+
+using namespace ptsbe;
+
+/// Distinct tenant circuits: dressed GHZ chains of slightly different
+/// shapes so each maps to its own plan-cache entry.
+std::string tenant_circuit(unsigned n, unsigned variant) {
+  Circuit c(n);
+  for (unsigned q = 0; q < n; ++q) c.ry(q, 0.1 * (q + 1 + variant));
+  c.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  for (unsigned q = 0; q < n; ++q) c.rz(q, 0.07 * (q + 1 + variant));
+  c.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(0.01));
+  noise.add_measurement_noise(channels::bit_flip(0.005));
+  return io::write_circuit(noise.apply(c));
+}
+
+struct Row {
+  std::size_t client_threads = 0;
+  std::size_t jobs = 0;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+/// Push `jobs_total` jobs (round-robin over `texts`, seed varies per job)
+/// through a fresh engine from `client_threads` submitters; returns the row.
+Row run_stream(const std::vector<std::string>& texts, std::size_t jobs_total,
+               std::size_t client_threads, std::size_t engine_workers,
+               std::size_t cache_capacity, std::size_t nsamples,
+               std::uint64_t nshots) {
+  serve::EngineConfig config;
+  config.workers = engine_workers;
+  config.queue_capacity = jobs_total;  // sized to avoid rejects: this bench
+                                       // measures throughput, not shedding
+  config.plan_cache_capacity = cache_capacity;
+  serve::Engine engine(config);
+
+  const auto request_for = [&](std::size_t j) {
+    serve::JobRequest req;
+    req.circuit_text = texts[j % texts.size()];
+    req.strategy_config.nsamples = nsamples;
+    req.strategy_config.nshots = nshots;
+    req.seed = 1000 + j;  // distinct seeds: same plan, different work
+    return req;
+  };
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(client_threads);
+  for (std::size_t t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      // Client t owns jobs t, t+T, t+2T, …; it submits all, then waits all
+      // (a fleet of synchronous callers with pipelining).
+      std::vector<serve::JobHandle> mine;
+      for (std::size_t j = t; j < jobs_total; j += client_threads)
+        mine.push_back(engine.submit(request_for(j)));
+      for (serve::JobHandle& job : mine) (void)job.wait();
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  const double seconds = timer.seconds();
+
+  const serve::EngineStats stats = engine.stats();
+  Row row;
+  row.client_threads = client_threads;
+  row.jobs = jobs_total;
+  row.seconds = seconds;
+  row.jobs_per_sec = seconds > 0.0 ? static_cast<double>(stats.served) / seconds : 0.0;
+  row.cache_hit_rate = stats.plan_cache_hit_rate();
+  if (stats.served != jobs_total)
+    std::fprintf(stderr, "WARNING: served %llu of %zu jobs\n",
+                 static_cast<unsigned long long>(stats.served), jobs_total);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_serve_throughput.json";
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0)
+      tiny = true;
+    else
+      out = argv[i];
+  }
+
+#ifdef _OPENMP
+  // Measure the service layer, not the kernels' inner parallelism.
+  omp_set_num_threads(1);
+#endif
+
+  std::size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+
+  const unsigned qubits = tiny ? 4 : 12;
+  const std::size_t distinct = 4;
+  const std::size_t jobs_total = tiny ? 8 : 48;
+  const std::size_t engine_workers = tiny ? 2 : 4;
+  const std::size_t nsamples = tiny ? 30 : 150;
+  const std::uint64_t nshots = tiny ? 10 : 100;
+  const std::vector<std::size_t> client_counts =
+      tiny ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 4, 8};
+
+  std::vector<std::string> texts;
+  for (unsigned v = 0; v < distinct; ++v)
+    texts.push_back(tenant_circuit(qubits, v));
+
+  std::printf("serve throughput (%zu jobs over %zu distinct %u-qubit "
+              "circuits, engine workers=%zu, hardware_concurrency=%zu)\n\n",
+              jobs_total, distinct, qubits, engine_workers, hardware);
+
+  std::vector<Row> rows;
+  for (const std::size_t clients : client_counts) {
+    const Row row = run_stream(texts, jobs_total, clients, engine_workers, 32,
+                               nsamples, nshots);
+    std::printf("clients=%zu  %7.3fs  %8.1f jobs/s  cache hit rate %.2f\n",
+                row.client_threads, row.seconds, row.jobs_per_sec,
+                row.cache_hit_rate);
+    rows.push_back(row);
+  }
+
+  // Cache ablation at the highest client count: same stream, cache off.
+  const std::size_t ablation_clients = client_counts.back();
+  const Row cache_off = run_stream(texts, jobs_total, ablation_clients,
+                                   engine_workers, 0, nsamples, nshots);
+  std::printf("\ncache off: %7.3fs  %8.1f jobs/s (vs %.1f with cache)\n",
+              cache_off.seconds, cache_off.jobs_per_sec,
+              rows.back().jobs_per_sec);
+
+  std::FILE* os = std::fopen(out, "w");
+  if (os == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out);
+    return 1;
+  }
+  std::fprintf(os,
+               "{\n  \"bench\": \"serve_throughput\",\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"engine_workers\": %zu,\n"
+               "  \"workload\": {\"jobs\": %zu, \"distinct_circuits\": %zu, "
+               "\"qubits\": %u, \"nsamples\": %zu, \"nshots\": %llu},\n"
+               "  \"note\": \"jobs/sec includes admission, .ptq parsing, "
+               "plan-cache lookups and execution; client scaling is bounded "
+               "by min(engine_workers, hardware_concurrency), so expect ~1x "
+               "on a 1-core container\",\n"
+               "  \"throughput\": [\n",
+               hardware, engine_workers, jobs_total, distinct, qubits,
+               nsamples, static_cast<unsigned long long>(nshots));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(os,
+                 "    {\"client_threads\": %zu, \"jobs\": %zu, "
+                 "\"seconds\": %.4f, \"jobs_per_sec\": %.2f, "
+                 "\"plan_cache_hit_rate\": %.4f}%s\n",
+                 r.client_threads, r.jobs, r.seconds, r.jobs_per_sec,
+                 r.cache_hit_rate, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(os,
+               "  ],\n  \"plan_cache_ablation\": {\"client_threads\": %zu, "
+               "\"cache_on_jobs_per_sec\": %.2f, "
+               "\"cache_off_jobs_per_sec\": %.2f}\n}\n",
+               ablation_clients, rows.back().jobs_per_sec,
+               cache_off.jobs_per_sec);
+  std::fclose(os);
+  std::printf("\nwrote %s\n", out);
+  return 0;
+}

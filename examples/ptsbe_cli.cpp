@@ -12,14 +12,21 @@
 //   ptsbe_cli --list
 //   ptsbe_cli --strategy band --p-min 1e-6 --p-max 1e-2 --backend mps
 //   ptsbe_cli --strategy enumerate --cutoff 1e-5 --devices 8 --seed 7
+//   ptsbe_cli --circuit bell.ptq --nshots 1000
+//
+// With --circuit the workload is read from a `.ptq` file (circuit + noise
+// sites as data — see ptsbe/io/ptq.hpp) instead of the built-in GHZ demo;
+// --qubits/--noise then do not apply.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <string>
 
 #include "ptsbe/core/pipeline.hpp"
+#include "ptsbe/io/ptq.hpp"
 #include "ptsbe/noise/channels.hpp"
 
 namespace {
@@ -35,6 +42,8 @@ void usage(std::FILE* os, const char* argv0) {
       "                         overlapping preparations amortised)\n"
       "  --fuse                 fuse adjacent same-support gates before the\n"
       "                         preparation sweep (amplitude backends)\n"
+      "  --circuit PATH         run the .ptq circuit file instead of the\n"
+      "                         built-in GHZ demo (--qubits/--noise ignored)\n"
       "  --qubits N             GHZ workload width [6]\n"
       "  --noise P              depolarizing probability per gate [0.01]\n"
       "  --nsamples N           candidate trajectory draws [2000]\n"
@@ -72,6 +81,7 @@ int main(int argc, char** argv) {
   std::string backend = "statevector";
   std::string schedule = "independent";
   bool fuse = false;
+  std::string circuit_path;
   std::string csv_path, binary_path;
   unsigned qubits = 6;
   double noise_p = 0.01;
@@ -111,6 +121,8 @@ int main(int argc, char** argv) {
       schedule = value();
     } else if (arg == "--fuse") {
       fuse = true;
+    } else if (arg == "--circuit") {
+      circuit_path = value();
     } else if (arg == "--qubits") {
       qubits = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--noise") {
@@ -166,21 +178,41 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     reject(argv[0], e.what());
   }
+  // --circuit is validated up front too: an unreadable or malformed file
+  // fails fast with usage + exit 2 (the ParseError message carries the
+  // offending path:line:column), before any state is allocated.
+  std::optional<NoisyCircuit> loaded;
+  if (!circuit_path.empty()) {
+    try {
+      loaded.emplace(io::parse_circuit_file(circuit_path));
+    } catch (const std::exception& e) {
+      reject(argv[0], e.what());
+    }
+  }
 
   try {
-    // The GHZ workload (constructed inside the try: bad --qubits/--noise
-    // values surface on the same friendly error path as bad names).
-    Circuit circuit(qubits);
-    circuit.h(0);
-    for (unsigned q = 0; q + 1 < qubits; ++q) circuit.cx(q, q + 1);
-    circuit.measure_all();
-    NoiseModel noise;
-    noise.add_all_gate_noise(channels::depolarizing(noise_p));
-    noise.add_measurement_noise(channels::bit_flip(noise_p / 2));
+    // The workload: a .ptq file when given, the GHZ demo otherwise
+    // (constructed inside the try: bad --qubits/--noise values surface on
+    // the same friendly error path as bad names).
+    NoisyCircuit program = loaded ? std::move(*loaded) : [&] {
+      Circuit circuit(qubits);
+      circuit.h(0);
+      for (unsigned q = 0; q + 1 < qubits; ++q) circuit.cx(q, q + 1);
+      circuit.measure_all();
+      NoiseModel noise;
+      noise.add_all_gate_noise(channels::depolarizing(noise_p));
+      noise.add_measurement_noise(channels::bit_flip(noise_p / 2));
+      return noise.apply(circuit);
+    }();
+    // Record width: bits of measured qubits (program order), or all qubits
+    // when the circuit has no measure ops (full basis-state records).
+    const std::size_t measured = program.circuit().measured_qubits().size();
+    const std::size_t record_bits =
+        measured != 0 ? measured : program.num_qubits();
 
     BackendConfig backend_cfg;
     backend_cfg.fuse_gates = fuse;
-    const RunResult run = Pipeline(circuit, noise)
+    const RunResult run = Pipeline(std::move(program))
                               .strategy(strategy, cfg)
                               .backend(backend, backend_cfg)
                               .schedule(be::schedule_from_string(schedule))
@@ -201,7 +233,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.result.total_shots()),
                 run.result.prepare_seconds, run.result.sample_seconds);
 
-    const std::uint64_t mask = (qubits >= 64) ? ~0ULL : (1ULL << qubits) - 1;
+    const std::uint64_t mask =
+        (record_bits >= 64) ? ~0ULL : (1ULL << record_bits) - 1;
     const be::Estimate parity = run.estimate_z_parity(mask);
     const be::Estimate p_zero =
         run.estimate_probability([](std::uint64_t r) { return r == 0; });

@@ -1,0 +1,224 @@
+// ptsbe_serve — the service loop end to end: a newline-delimited job file
+// stands in for a fleet of tenants. Every line is one job (key=value
+// tokens), every circuit is a `.ptq` file, and the whole stream is pushed
+// through one shared serve::Engine — submissions are asynchronous, repeat
+// circuits hit the ExecPlan cache, and a full admission queue rejects with
+// status instead of buffering.
+//
+//   ptsbe_serve examples/jobs/demo.jobs
+//   ptsbe_serve --workers 4 --queue 32 --repeat 16 demo.jobs
+//
+// Job-file grammar: blank lines and '#' comments are skipped; otherwise
+//   circuit=PATH [strategy=NAME] [backend=NAME] [schedule=NAME]
+//   [threads=N] [seed=S] [nsamples=N] [nshots=N] [p_min=P] [p_max=P]
+//   [cutoff=P] [fuse=0|1]
+// circuit paths are resolved relative to the job file's directory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ptsbe/serve/engine.hpp"
+
+namespace {
+
+void usage(std::FILE* os, const char* argv0) {
+  std::fprintf(os,
+      "usage: %s [options] <jobfile>\n"
+      "  --workers N   concurrent job slots (0 = hardware concurrency) [2]\n"
+      "  --queue N     admission queue bound (beyond it: reject) [64]\n"
+      "  --cache N     ExecPlan LRU capacity (0 = disable) [32]\n"
+      "  --repeat K    submit the job list K times (cache demo) [1]\n",
+      argv0);
+}
+
+[[noreturn]] void reject(const char* argv0, const std::string& what) {
+  std::fprintf(stderr, "error: %s\n\n", what.c_str());
+  usage(stderr, argv0);
+  std::exit(2);
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// One job-file line -> JobRequest. Throws std::runtime_error with a
+/// line-anchored message on malformed input.
+ptsbe::serve::JobRequest parse_job_line(const std::string& line,
+                                        const std::string& base_dir,
+                                        std::size_t line_no) {
+  ptsbe::serve::JobRequest req;
+  std::string circuit_path;
+  std::istringstream tokens(line);
+  std::string token;
+  const auto bad = [line_no](const std::string& why) -> std::runtime_error {
+    return std::runtime_error("job file line " + std::to_string(line_no) +
+                              ": " + why);
+  };
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw bad("expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "circuit") circuit_path = base_dir + value;
+    else if (key == "strategy") req.strategy = value;
+    else if (key == "backend") req.backend = value;
+    else if (key == "schedule") req.schedule = ptsbe::be::schedule_from_string(value);
+    else if (key == "threads") req.threads = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "seed") req.seed = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "nsamples") req.strategy_config.nsamples = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "nshots") req.strategy_config.nshots = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "p_min") req.strategy_config.p_min = std::strtod(value.c_str(), nullptr);
+    else if (key == "p_max") req.strategy_config.p_max = std::strtod(value.c_str(), nullptr);
+    else if (key == "cutoff") req.strategy_config.probability_cutoff = std::strtod(value.c_str(), nullptr);
+    else if (key == "fuse") {
+      if (value != "0" && value != "1")
+        throw bad("fuse must be 0 or 1, got '" + value + "'");
+      req.backend_config.fuse_gates = value == "1";
+    }
+    else throw bad("unknown key '" + key + "'");
+  }
+  if (circuit_path.empty()) throw bad("missing circuit=PATH");
+  req.circuit_text = read_file(circuit_path);
+  req.source_name = circuit_path;
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptsbe;
+
+  serve::EngineConfig config;
+  config.workers = 2;
+  std::size_t repeat = 1;
+  std::string job_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) reject(argv[0], arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--workers") {
+      config.workers = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--queue") {
+      config.queue_capacity = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--cache") {
+      config.plan_cache_capacity = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--repeat") {
+      repeat = std::strtoull(value(), nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      reject(argv[0], "unknown option '" + arg + "'");
+    } else if (job_path.empty()) {
+      job_path = arg;
+    } else {
+      reject(argv[0], "more than one job file given");
+    }
+  }
+  if (job_path.empty()) reject(argv[0], "no job file given");
+
+  // Parse the whole job stream up front: a malformed job file is a usage
+  // error (exit 2) before any engine work starts.
+  std::vector<serve::JobRequest> requests;
+  try {
+    std::ifstream is(job_path);
+    if (!is)
+      throw std::runtime_error("cannot open '" + job_path + "' for reading");
+    const std::string base_dir = dirname_of(job_path);
+    std::string line;
+    for (std::size_t line_no = 1; std::getline(is, line); ++line_no) {
+      const std::size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      requests.push_back(parse_job_line(line, base_dir, line_no));
+    }
+  } catch (const std::exception& e) {
+    reject(argv[0], e.what());
+  }
+  if (requests.empty()) reject(argv[0], "job file has no jobs");
+
+  serve::Engine engine(config);
+  std::printf("engine: workers=%zu queue=%zu plan-cache=%zu jobs=%zu x%zu\n",
+              engine.num_workers(), config.queue_capacity,
+              config.plan_cache_capacity, requests.size(), repeat);
+
+  // Submit everything asynchronously, then wait in submission order. A
+  // kRejected handle is the engine's backpressure signal — a well-behaved
+  // client reacts by draining its oldest outstanding job and resubmitting,
+  // so a stream larger than the admission queue still completes.
+  std::vector<serve::JobHandle> jobs;
+  jobs.reserve(requests.size() * repeat);
+  std::size_t drain_cursor = 0;
+  std::size_t backpressure_retries = 0;
+  const auto submit_throttled = [&](const serve::JobRequest& req) {
+    while (true) {
+      serve::JobHandle handle = engine.submit(req);
+      if (handle.status() != serve::JobStatus::kRejected ||
+          drain_cursor >= jobs.size())
+        return handle;
+      ++backpressure_retries;
+      try {
+        (void)jobs[drain_cursor].wait();
+      } catch (const std::exception&) {
+        // Failed jobs are reported in the wait loop below; here we only
+        // need the slot back.
+      }
+      ++drain_cursor;
+    }
+  };
+  for (std::size_t r = 0; r < repeat; ++r)
+    for (const serve::JobRequest& req : requests)
+      jobs.push_back(submit_throttled(req));
+
+  int failures = 0;
+  for (serve::JobHandle& job : jobs) {
+    try {
+      const RunResult& run = job.wait();
+      std::printf(
+          "job %llu: done  strategy=%s backend=%s specs=%zu shots=%llu "
+          "plan-cache=%s\n",
+          static_cast<unsigned long long>(job.id()), run.strategy.c_str(),
+          run.backend.c_str(), run.num_specs,
+          static_cast<unsigned long long>(run.result.total_shots()),
+          job.plan_cache_hit() ? "hit" : "miss");
+    } catch (const std::exception& e) {
+      ++failures;
+      std::printf("job %llu: %s (%s)\n",
+                  static_cast<unsigned long long>(job.id()),
+                  serve::to_string(job.status()).c_str(), e.what());
+    }
+  }
+
+  const serve::EngineStats stats = engine.stats();
+  if (backpressure_retries != 0)
+    std::printf("backpressure: %zu submissions retried after rejection\n",
+                backpressure_retries);
+  std::printf(
+      "stats: submitted=%llu served=%llu failed=%llu cancelled=%llu "
+      "rejected=%llu cache-hit-rate=%.2f queue-depth=%zu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.served),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.rejected),
+      stats.plan_cache_hit_rate(), stats.queue_depth);
+  return failures == 0 ? 0 : 1;
+}

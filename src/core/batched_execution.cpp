@@ -47,7 +47,11 @@ StreamSummary execute_streaming_shared(const NoisyCircuit& noisy,
                                        const BatchSink& sink,
                                        const Backend& backend,
                                        const RngStream& master) {
-  const ExecPlan plan = backend.make_plan(noisy);
+  // An injected plan (the serve engine's cache) replaces the per-call
+  // fusion+lowering pass; otherwise build one for this run.
+  const ExecPlan local_plan =
+      options.plan ? ExecPlan{} : backend.make_plan(noisy);
+  const ExecPlan& plan = options.plan ? *options.plan : local_plan;
   const std::vector<std::vector<std::size_t>> assignments =
       all_assignments(noisy, specs);
   std::vector<std::size_t> order(specs.size());
@@ -141,6 +145,17 @@ StreamSummary execute_streaming(const NoisyCircuit& noisy,
                 "backend '" + options.backend +
                     "' does not support this program (gate set, channel "
                     "class or qubit count)");
+  // Cheap fingerprint on an injected plan: a plan built for a different
+  // program would otherwise sweep the wrong step list and return
+  // plausible-looking records. (Matching counts with a different fusion
+  // setting remain the caller's contract — see Options::plan.)
+  PTSBE_REQUIRE(!options.plan ||
+                    (options.plan->site_count == noisy.num_sites() &&
+                     options.plan->unfused_gate_count ==
+                         noisy.circuit().gate_count()),
+                "injected ExecPlan does not match this program (site/gate "
+                "counts differ); it must come from make_plan on the same "
+                "NoisyCircuit");
 
   const RngStream master(options.seed);
 
@@ -155,8 +170,11 @@ StreamSummary execute_streaming(const NoisyCircuit& noisy,
   // (stabilizer — exactly the non-forkable ones today) get an empty
   // placeholder instead of a deep-copied plan their default run_with_plan
   // would discard.
-  const ExecPlan plan =
-      backend->can_fork_states() ? backend->make_plan(noisy) : ExecPlan{};
+  const ExecPlan local_plan =
+      (backend->can_fork_states() && !options.plan) ? backend->make_plan(noisy)
+                                                    : ExecPlan{};
+  const ExecPlan& plan =
+      (options.plan && backend->can_fork_states()) ? *options.plan : local_plan;
 
   TrajectoryExecutor executor(resolved_threads(options));
   std::vector<WorkerAccum> accums(executor.num_workers());

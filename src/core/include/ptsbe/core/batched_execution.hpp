@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,14 @@ struct Options {
   /// Master seed; trajectory t uses substream (t+1) so results are
   /// reproducible regardless of device scheduling.
   std::uint64_t seed = 0x5EEDBA5EDULL;
+  /// Optional pre-built execution plan. When set, BE skips the per-call
+  /// `Backend::make_plan` (fusion + lowering) and sweeps this plan instead —
+  /// the hook the `ptsbe::serve` engine's plan cache injects through. Must
+  /// come from `make_plan` of a backend constructed with the *same*
+  /// name/config against the *same* program; records are bit-identical to a
+  /// plan-less run by the ExecPlan determinism contract. Ignored by
+  /// backends that do not prepare through plans (stabilizer).
+  std::shared_ptr<const ExecPlan> plan;
 };
 
 /// Everything BE produces for one trajectory specification.

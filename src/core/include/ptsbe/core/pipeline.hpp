@@ -122,6 +122,13 @@ class Pipeline {
   /// stages never share randomness and a seed pins the entire run.
   Pipeline& seed(std::uint64_t seed);
 
+  /// Inject a pre-built execution plan so run() skips fusion+lowering
+  /// (see be::Options::plan — the ptsbe::serve plan-cache hook). The plan
+  /// must come from `make_plan` of a backend matching this pipeline's
+  /// backend()/config against program(); records are bit-identical either
+  /// way. Pass nullptr to restore per-run plan building.
+  Pipeline& cached_plan(std::shared_ptr<const ExecPlan> plan);
+
   /// The noisy program this pipeline executes.
   [[nodiscard]] const NoisyCircuit& program() const noexcept { return noisy_; }
 

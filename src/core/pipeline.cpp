@@ -65,6 +65,11 @@ Pipeline& Pipeline::seed(std::uint64_t seed) {
   return *this;
 }
 
+Pipeline& Pipeline::cached_plan(std::shared_ptr<const ExecPlan> plan) {
+  exec_.plan = std::move(plan);
+  return *this;
+}
+
 be::Weighting Pipeline::weighting() const {
   return pts::make_strategy(strategy_name_)->weighting();
 }

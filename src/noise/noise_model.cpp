@@ -18,6 +18,12 @@ NoisyCircuit::NoisyCircuit(Circuit circuit, std::vector<NoiseSite> sites)
                   "noise site qubit count must match channel arity");
     for (unsigned q : s.qubits)
       PTSBE_REQUIRE(q < circuit_.num_qubits(), "noise site qubit out of range");
+    // Aliased targets would make the backend kernels read amplitudes they
+    // already overwrote (apply_matrix2 with q==q) — the same distinctness
+    // contract Circuit enforces for gates.
+    PTSBE_REQUIRE(std::set<unsigned>(s.qubits.begin(), s.qubits.end()).size() ==
+                      s.qubits.size(),
+                  "noise site target qubits must be distinct");
     if (s.after_op == NoiseSite::kBeforeCircuit) {
       pre_sites_.push_back(i);
     } else {

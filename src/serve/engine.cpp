@@ -1,0 +1,323 @@
+#include "ptsbe/serve/engine.hpp"
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/io/ptq.hpp"
+
+namespace ptsbe::serve {
+
+namespace detail {
+
+/// Monotonic terminal-state counters, shared between the engine and every
+/// job handle so late cancels never reach back into a dead engine.
+struct Counters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> rejected{0};
+};
+
+/// Shared state behind one JobHandle. Transitions are guarded by `mutex`;
+/// the request/program/plan fields are written once at submit time and
+/// read-only afterwards.
+struct JobState {
+  std::uint64_t id = 0;
+  JobRequest request;
+  std::optional<NoisyCircuit> program;
+  std::shared_ptr<const ExecPlan> plan;
+  bool cache_hit = false;
+  std::shared_ptr<Counters> counters;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;
+  std::string error;
+  RunResult result;
+
+  void finish(JobStatus terminal, std::string message = {}) {
+    std::lock_guard lock(mutex);
+    status = terminal;
+    error = std::move(message);
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+const std::string& to_string(JobStatus status) {
+  static const std::string kNames[] = {"queued",    "running",   "done",
+                                       "failed",    "cancelled", "rejected"};
+  return kNames[static_cast<std::uint8_t>(status)];
+}
+
+// ---------------------------------------------------------------------------
+// JobHandle
+// ---------------------------------------------------------------------------
+
+JobHandle::JobHandle(std::shared_ptr<detail::JobState> state)
+    : state_(std::move(state)) {}
+
+std::uint64_t JobHandle::id() const noexcept { return state_->id; }
+
+JobStatus JobHandle::status() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->status;
+}
+
+bool JobHandle::poll() const {
+  const JobStatus s = status();
+  return s != JobStatus::kQueued && s != JobStatus::kRunning;
+}
+
+const RunResult& JobHandle::wait() const {
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [this] {
+    return state_->status != JobStatus::kQueued &&
+           state_->status != JobStatus::kRunning;
+  });
+  if (state_->status != JobStatus::kDone)
+    throw runtime_failure("job " + std::to_string(state_->id) + " " +
+                          to_string(state_->status) +
+                          (state_->error.empty() ? "" : ": " + state_->error));
+  return state_->result;
+}
+
+const RunResult& JobHandle::result() const {
+  std::lock_guard lock(state_->mutex);
+  PTSBE_REQUIRE(state_->status == JobStatus::kDone,
+                "job " + std::to_string(state_->id) + " is " +
+                    to_string(state_->status) + ", not done");
+  return state_->result;
+}
+
+std::string JobHandle::error() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->error;
+}
+
+bool JobHandle::cancel() {
+  std::lock_guard lock(state_->mutex);
+  if (state_->status != JobStatus::kQueued) return false;
+  state_->status = JobStatus::kCancelled;
+  state_->error = "cancelled before execution";
+  state_->cv.notify_all();
+  state_->counters->cancelled.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool JobHandle::plan_cache_hit() const { return state_->cache_hit; }
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      plan_cache_(config.plan_cache_capacity),
+      counters_(std::make_shared<detail::Counters>()) {
+  PTSBE_REQUIRE(config_.queue_capacity >= 1,
+                "engine queue capacity must be at least 1");
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+JobHandle Engine::submit(JobRequest request) {
+  counters_->submitted.fetch_add(1, std::memory_order_relaxed);
+  auto job = std::make_shared<detail::JobState>();
+  job->counters = counters_;
+  // Admission pre-check: when the engine is stopping or the queue is
+  // already full, reject *before* parsing/planning — backpressure must
+  // shed the expensive work too, and a doomed request must not evict live
+  // plan-cache entries. (Re-checked at enqueue below: concurrent submits
+  // that both pass here can still race the last slot.)
+  {
+    std::lock_guard lock(mutex_);
+    job->id = next_id_++;
+    purge_cancelled_locked();
+    if (stopping_) {
+      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+      job->finish(JobStatus::kRejected, "engine is shutting down");
+      return JobHandle(job);
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+      job->finish(JobStatus::kRejected,
+                  "admission queue full (" +
+                      std::to_string(config_.queue_capacity) + " jobs)");
+      return JobHandle(job);
+    }
+  }
+  job->request = std::move(request);
+  JobRequest& req = job->request;
+  // Clamp tenant-controlled intra-job parallelism: "threads" feeds
+  // TrajectoryExecutor's pool size verbatim (0 already means hardware
+  // concurrency, and records are bit-identical at every value, so the
+  // clamp is invisible except in wall clock).
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (req.threads > hw) req.threads = hw;
+
+  // Validate tenant input on the caller's thread — bad requests fail with
+  // status + diagnostic and never occupy a worker slot.
+  std::string cache_insert_key;  // non-empty: insert after admission
+  try {
+    job->program.emplace(io::parse_circuit(req.circuit_text, req.source_name));
+    if (!pts::StrategyRegistry::instance().contains(req.strategy))
+      throw precondition_error("unknown strategy '" + req.strategy + "'");
+    const BackendPtr backend = make_backend(req.backend, req.backend_config);
+    PTSBE_REQUIRE(backend->supports(*job->program),
+                  "backend '" + req.backend +
+                      "' does not support this program (gate set, channel "
+                      "class or qubit count)");
+    // Plan cache: only backends that prepare through plans participate.
+    // The canonical key makes formatting-only differences between tenant
+    // texts collapse onto one entry.
+    if (backend->can_fork_states() && config_.plan_cache_capacity > 0) {
+      const std::string key = plan_cache_key(io::write_circuit(*job->program),
+                                             req.backend, req.backend_config);
+      job->plan = plan_cache_.lookup(key);
+      job->cache_hit = job->plan != nullptr;
+      if (!job->plan) {
+        job->plan =
+            std::make_shared<const ExecPlan>(backend->make_plan(*job->program));
+        // Deferred: only an *admitted* job may evict a live LRU entry — a
+        // submit that loses the race for the last queue slot below must
+        // leave the cache untouched.
+        cache_insert_key = key;
+      }
+    }
+  } catch (const std::exception& e) {
+    counters_->failed.fetch_add(1, std::memory_order_relaxed);
+    job->finish(JobStatus::kFailed, e.what());
+    return JobHandle(job);
+  }
+
+  // FIFO admission with a hard bound: a full queue (or a stopping engine)
+  // rejects with status — visible backpressure instead of hidden buffering.
+  {
+    std::lock_guard lock(mutex_);
+    purge_cancelled_locked();
+    if (stopping_) {
+      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+      job->finish(JobStatus::kRejected, "engine is shutting down");
+      return JobHandle(job);
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+      job->finish(JobStatus::kRejected,
+                  "admission queue full (" +
+                      std::to_string(config_.queue_capacity) + " jobs)");
+      return JobHandle(job);
+    }
+    queue_.push_back(job);
+  }
+  if (!cache_insert_key.empty())
+    plan_cache_.insert(cache_insert_key, job->plan);
+  work_cv_.notify_one();
+  return JobHandle(job);
+}
+
+void Engine::purge_cancelled_locked() {
+  // Cancelled jobs are tombstones: cancel() (which holds only the job
+  // mutex — handles must outlive engines) cannot touch queue_, so the
+  // admission checks sweep them out here. Lock order is engine mutex_ →
+  // job mutex, consistent with every other path, and the queue is
+  // capacity-bounded so the sweep is O(queue_capacity).
+  std::erase_if(queue_, [](const std::shared_ptr<detail::JobState>& job) {
+    std::lock_guard job_lock(job->mutex);
+    return job->status == JobStatus::kCancelled;
+  });
+}
+
+void Engine::worker_loop() {
+  while (true) {
+    std::shared_ptr<detail::JobState> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(job);
+  }
+}
+
+void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
+  {
+    std::lock_guard lock(job->mutex);
+    if (job->status != JobStatus::kQueued) return;  // cancelled while queued
+    job->status = JobStatus::kRunning;
+  }
+  try {
+    const JobRequest& req = job->request;
+    // The Pipeline facade is the single definition of the seeding
+    // convention, which is what makes a served job bit-identical to a
+    // standalone run with the same request.
+    Pipeline pipeline(std::move(*job->program));
+    pipeline.strategy(req.strategy, req.strategy_config)
+        .backend(req.backend, req.backend_config)
+        .schedule(req.schedule)
+        .threads(req.threads)
+        .seed(req.seed)
+        .cached_plan(job->plan);
+    RunResult run = pipeline.run();
+    // Count before notifying: a waiter reading stats() right after wait()
+    // returns must already see this job as served.
+    counters_->served.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(job->mutex);
+      job->result = std::move(run);
+      job->status = JobStatus::kDone;
+      job->cv.notify_all();
+    }
+  } catch (const std::exception& e) {
+    counters_->failed.fetch_add(1, std::memory_order_relaxed);
+    job->finish(JobStatus::kFailed, e.what());
+  }
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  out.submitted = counters_->submitted.load(std::memory_order_relaxed);
+  out.served = counters_->served.load(std::memory_order_relaxed);
+  out.failed = counters_->failed.load(std::memory_order_relaxed);
+  out.cancelled = counters_->cancelled.load(std::memory_order_relaxed);
+  out.rejected = counters_->rejected.load(std::memory_order_relaxed);
+  out.plan_cache_hits = plan_cache_.hits();
+  out.plan_cache_misses = plan_cache_.misses();
+  {
+    std::lock_guard lock(mutex_);
+    // Count live queued jobs only: cancelled tombstones awaiting their
+    // purge must not read as backlog to a monitoring client.
+    for (const std::shared_ptr<detail::JobState>& job : queue_) {
+      std::lock_guard job_lock(job->mutex);
+      if (job->status == JobStatus::kQueued) ++out.queue_depth;
+    }
+  }
+  return out;
+}
+
+}  // namespace ptsbe::serve

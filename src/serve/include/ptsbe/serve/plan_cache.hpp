@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file plan_cache.hpp
+/// \brief Bounded LRU cache of fused execution plans.
+///
+/// Building an `ExecPlan` runs the gate-fusion pass and lowers the noisy
+/// program into the linear step list every amplitude backend sweeps —
+/// work that is identical for every job submitting the same circuit with
+/// the same backend config. The serve engine keys this cache by the
+/// *canonical* `.ptq` text of the program (whitespace/comment-insensitive
+/// by construction: `io::write_circuit` of the parsed program) plus the
+/// backend name and the plan-relevant `BackendConfig` knobs, so repeat
+/// tenants skip fusion+lowering entirely.
+///
+/// Keys are compared by full string equality — a hash is used only for
+/// bucketing — so two distinct circuits can never alias a plan. Values
+/// are `shared_ptr<const ExecPlan>`: immutable, so one resident plan can
+/// serve any number of concurrent jobs while the LRU evicts it. All
+/// operations are thread-safe.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "ptsbe/core/backend.hpp"
+
+namespace ptsbe::serve {
+
+/// Canonical cache key for (program, backend, config). `circuit_canonical`
+/// should be `io::write_circuit` output so formatting differences in
+/// tenant-supplied text collapse to one key.
+[[nodiscard]] std::string plan_cache_key(const std::string& circuit_canonical,
+                                         const std::string& backend,
+                                         const BackendConfig& config);
+
+/// Thread-safe bounded LRU: string key -> shared immutable ExecPlan.
+class PlanCache {
+ public:
+  /// Cache holding at most `capacity` plans (0 = caching disabled; every
+  /// lookup misses and insert is a no-op).
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look `key` up; a hit refreshes its LRU position.
+  [[nodiscard]] std::shared_ptr<const ExecPlan> lookup(const std::string& key);
+
+  /// Insert (or refresh) `plan` under `key`, evicting the least recently
+  /// used entry beyond capacity.
+  void insert(const std::string& key, std::shared_ptr<const ExecPlan> plan);
+
+  /// Entries currently resident.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Hits/misses observed by lookup() since construction.
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const ExecPlan>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ptsbe::serve

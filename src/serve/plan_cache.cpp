@@ -1,0 +1,69 @@
+#include "ptsbe/serve/plan_cache.hpp"
+
+#include <sstream>
+
+namespace ptsbe::serve {
+
+std::string plan_cache_key(const std::string& circuit_canonical,
+                           const std::string& backend,
+                           const BackendConfig& config) {
+  // Every knob that can change make_plan's output (or select a different
+  // make_plan override) must appear here; the mps fields are included
+  // defensively so a future bond-dependent plan cannot alias. Full 17
+  // significant digits: the default stream precision (6) would collapse
+  // distinct truncation settings onto one key.
+  std::ostringstream key;
+  key.precision(17);
+  key << "backend=" << backend << ";fuse=" << (config.fuse_gates ? 1 : 0)
+      << ";mps_max_bond=" << config.mps.max_bond
+      << ";mps_trunc=" << config.mps.truncation_error << ";\n"
+      << circuit_canonical;
+  return key.str();
+}
+
+std::shared_ptr<const ExecPlan> PlanCache::lookup(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void PlanCache::insert(const std::string& key,
+                       std::shared_ptr<const ExecPlan> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+}  // namespace ptsbe::serve

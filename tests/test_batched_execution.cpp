@@ -277,6 +277,81 @@ TEST(Dataset, ReadRejectsGarbage) {
                runtime_failure);
 }
 
+// An injected pre-built plan (be::Options::plan — the serve cache hook)
+// must be fingerprint-checked: a plan from a different program would sweep
+// the wrong step list and return plausible-looking records.
+TEST(BatchedExecution, InjectedPlanIsFingerprintChecked) {
+  const NoisyCircuit program = noisy_ghz(3, 0.1);
+  const NoisyCircuit other = noisy_ghz(2, 0.1);
+  TrajectorySpec spec;
+  spec.shots = 10;
+  spec.nominal_probability = 1.0;
+
+  be::Options options;
+  options.plan = std::make_shared<const ExecPlan>(build_exec_plan(other, false));
+  EXPECT_THROW((void)be::execute(program, {spec}, options), precondition_error);
+
+  // A matching plan is accepted and bit-identical to a plan-less run.
+  options.plan = std::make_shared<const ExecPlan>(build_exec_plan(program, false));
+  const be::Result with_plan = be::execute(program, {spec}, options);
+  const be::Result without_plan = be::execute(program, {spec}, {});
+  ASSERT_EQ(with_plan.batches.size(), without_plan.batches.size());
+  EXPECT_EQ(with_plan.batches[0].records, without_plan.batches[0].records);
+}
+
+// Regression: a crafted format-v1 file (pre device-id removal) must be
+// rejected with a clear "unsupported dataset version" error, never
+// misparsed — v1 batch blocks carry an extra per-batch device-id field, so
+// reading them with the v2 layout would silently shear every field after
+// it. Same contract for versions newer than the reader.
+TEST(Dataset, ReadRejectsVersion1Header) {
+  const std::string path = ::testing::TempDir() + "ptsbe_test_v1_header.bin";
+  const auto write_version = [&path](std::uint32_t version) {
+    std::ofstream os(path, std::ios::binary);
+    os.write("PTSB", 4);
+    os.write(reinterpret_cast<const char*>(&version), sizeof version);
+    const std::uint64_t num_batches = 1;
+    os.write(reinterpret_cast<const char*>(&num_batches), sizeof num_batches);
+    // One v1-layout batch block: spec_index, *device_id*, nominal, realized,
+    // shots, 0 branches, 1 record. A v2 read of these bytes would produce a
+    // plausible-looking but wrong batch — exactly what must not happen.
+    const std::uint64_t spec_index = 0, device_id = 3, shots = 1,
+                        num_branches = 0, num_records = 1, record = 2;
+    const double nominal = 0.5, realized = 0.5;
+    os.write(reinterpret_cast<const char*>(&spec_index), sizeof spec_index);
+    os.write(reinterpret_cast<const char*>(&device_id), sizeof device_id);
+    os.write(reinterpret_cast<const char*>(&nominal), sizeof nominal);
+    os.write(reinterpret_cast<const char*>(&realized), sizeof realized);
+    os.write(reinterpret_cast<const char*>(&shots), sizeof shots);
+    os.write(reinterpret_cast<const char*>(&num_branches), sizeof num_branches);
+    os.write(reinterpret_cast<const char*>(&num_records), sizeof num_records);
+    os.write(reinterpret_cast<const char*>(&record), sizeof record);
+  };
+
+  write_version(1);
+  try {
+    (void)dataset::read_binary(path);
+    FAIL() << "v1 dataset must be rejected";
+  } catch (const runtime_failure& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported dataset version 1"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("regenerate"), std::string::npos)
+        << e.what();
+  }
+
+  write_version(3);  // from the future: same rejection, no misparse
+  try {
+    (void)dataset::read_binary(path);
+    FAIL() << "future-version dataset must be rejected";
+  } catch (const runtime_failure& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported dataset version 3"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
 TEST(BatchedExecution, SpecValidationRejectsBadIndices) {
   const NoisyCircuit noisy = noisy_ghz(2, 0.1);
   TrajectorySpec bad;

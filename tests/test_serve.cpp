@@ -1,0 +1,384 @@
+// The ptsbe::serve engine: submit/wait/poll/cancel lifecycle, bounded FIFO
+// admission with reject-with-status, the ExecPlan LRU cache, per-engine
+// stats — and the determinism contract: a served job's records and dataset
+// bytes are bit-identical to a standalone Pipeline::run with the same
+// request, under concurrent multi-tenant load.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptsbe/core/dataset.hpp"
+#include "ptsbe/io/ptq.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/serve/engine.hpp"
+
+namespace ptsbe {
+namespace {
+
+/// The shared workload: GHZ(n) with depolarizing gate noise and bit-flip
+/// readout noise, as canonical `.ptq` text (what a tenant would submit).
+std::string ghz_ptq(unsigned qubits, double p = 0.02) {
+  Circuit circuit(qubits);
+  circuit.h(0);
+  for (unsigned q = 0; q + 1 < qubits; ++q) circuit.cx(q, q + 1);
+  circuit.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(p));
+  noise.add_measurement_noise(channels::bit_flip(p / 2));
+  return io::write_circuit(noise.apply(circuit));
+}
+
+serve::JobRequest ghz_request(unsigned qubits = 4) {
+  serve::JobRequest req;
+  req.circuit_text = ghz_ptq(qubits);
+  req.strategy_config.nsamples = 300;
+  req.strategy_config.nshots = 100;
+  req.seed = 7;
+  return req;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Bit-exact batch equality (records, weights, spec identity).
+void expect_same_result(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.result.batches.size(), b.result.batches.size());
+  for (std::size_t i = 0; i < a.result.batches.size(); ++i) {
+    const be::TrajectoryBatch& x = a.result.batches[i];
+    const be::TrajectoryBatch& y = b.result.batches[i];
+    EXPECT_EQ(x.spec_index, y.spec_index);
+    EXPECT_EQ(x.spec.branches, y.spec.branches);
+    EXPECT_EQ(x.spec.shots, y.spec.shots);
+    EXPECT_EQ(x.records, y.records) << "batch " << i;
+    EXPECT_EQ(x.realized_probability, y.realized_probability);
+  }
+  EXPECT_EQ(a.weighting, b.weighting);
+  EXPECT_EQ(a.schedule_executed, b.schedule_executed);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle basics.
+// ---------------------------------------------------------------------------
+
+TEST(ServeEngine, SubmitWaitDone) {
+  serve::Engine engine({.workers = 2, .queue_capacity = 8});
+  serve::JobHandle job = engine.submit(ghz_request());
+  const RunResult& run = job.wait();
+  EXPECT_EQ(job.status(), serve::JobStatus::kDone);
+  EXPECT_TRUE(job.poll());
+  EXPECT_GT(run.result.total_shots(), 0u);
+  EXPECT_EQ(run.strategy, "probabilistic");
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServeEngine, InvalidRequestsFailWithStatusNotThrow) {
+  serve::Engine engine({.workers = 1, .queue_capacity = 4});
+
+  serve::JobRequest bad_circuit = ghz_request();
+  bad_circuit.circuit_text = "ptq 1\nqubits 2\nhh 0\n";
+  bad_circuit.source_name = "tenant.ptq";
+  serve::JobHandle j1 = engine.submit(bad_circuit);
+  EXPECT_EQ(j1.status(), serve::JobStatus::kFailed);
+  EXPECT_NE(j1.error().find("tenant.ptq:3:1"), std::string::npos) << j1.error();
+  EXPECT_THROW((void)j1.wait(), runtime_failure);
+  EXPECT_THROW((void)j1.result(), precondition_error);
+
+  serve::JobRequest bad_strategy = ghz_request();
+  bad_strategy.strategy = "bogus";
+  serve::JobHandle j2 = engine.submit(bad_strategy);
+  EXPECT_EQ(j2.status(), serve::JobStatus::kFailed);
+  EXPECT_NE(j2.error().find("unknown strategy 'bogus'"), std::string::npos);
+
+  serve::JobRequest bad_backend = ghz_request();
+  bad_backend.backend = "bogus";
+  serve::JobHandle j3 = engine.submit(bad_backend);
+  EXPECT_EQ(j3.status(), serve::JobStatus::kFailed);
+
+  // Unsupported program for the chosen backend fails at submit, not deep
+  // inside a worker: a T gate is outside the stabilizer fragment.
+  serve::JobRequest unsupported = ghz_request();
+  unsupported.circuit_text = "ptq 1\nqubits 1\nt 0\nmeasure 0\n";
+  unsupported.backend = "stabilizer";
+  serve::JobHandle j4 = engine.submit(unsupported);
+  EXPECT_EQ(j4.status(), serve::JobStatus::kFailed);
+  EXPECT_NE(j4.error().find("does not support"), std::string::npos);
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.failed, 4u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+TEST(ServeEngine, ShutdownRejectsWithStatus) {
+  serve::Engine engine({.workers = 1, .queue_capacity = 4});
+  serve::JobHandle before = engine.submit(ghz_request());
+  engine.shutdown();  // drains: the admitted job finishes
+  EXPECT_EQ(before.status(), serve::JobStatus::kDone);
+  serve::JobHandle after = engine.submit(ghz_request());
+  EXPECT_EQ(after.status(), serve::JobStatus::kRejected);
+  EXPECT_NE(after.error().find("shutting down"), std::string::npos);
+  EXPECT_EQ(engine.stats().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: bounded queue, reject-with-status, cancellation.
+// A deliberately heavy job (bulk-sampling millions of shots) pins the single
+// worker while the queue fills.
+// ---------------------------------------------------------------------------
+
+serve::JobRequest heavy_request() {
+  serve::JobRequest req;
+  req.circuit_text = ghz_ptq(2);
+  req.strategy = "enumerate";
+  // GHZ(2) error-free trajectory has p ≈ 0.94: the cutoff keeps it alone.
+  req.strategy_config.probability_cutoff = 0.5;
+  req.strategy_config.max_results = 1;
+  req.strategy_config.nshots = 4'000'000;
+  req.seed = 3;
+  return req;
+}
+
+TEST(ServeEngine, QueueFullRejectsWithStatus) {
+  serve::Engine engine(
+      {.workers = 1, .queue_capacity = 1, .plan_cache_capacity = 8});
+  serve::JobHandle heavy = engine.submit(heavy_request());
+  // Wait until the worker owns the heavy job, so the queue state below is
+  // deterministic: one slot free, then full.
+  while (heavy.status() == serve::JobStatus::kQueued)
+    std::this_thread::yield();
+
+  serve::JobHandle queued = engine.submit(ghz_request());
+  EXPECT_EQ(queued.status(), serve::JobStatus::kQueued);
+  EXPECT_EQ(engine.stats().queue_depth, 1u);
+
+  serve::JobHandle rejected = engine.submit(ghz_request());
+  EXPECT_EQ(rejected.status(), serve::JobStatus::kRejected);
+  EXPECT_NE(rejected.error().find("admission queue full"), std::string::npos);
+  EXPECT_TRUE(rejected.poll());
+  EXPECT_THROW((void)rejected.wait(), runtime_failure);
+
+  // Admission is checked before validation: a full queue sheds even a
+  // malformed request as kRejected — no parse, no plan-cache traffic.
+  const std::uint64_t misses_before = engine.stats().plan_cache_misses;
+  serve::JobRequest malformed = ghz_request();
+  malformed.circuit_text = "ptq 1\nqubits 2\nhh 0\n";
+  serve::JobHandle shed = engine.submit(malformed);
+  EXPECT_EQ(shed.status(), serve::JobStatus::kRejected);
+  EXPECT_EQ(engine.stats().plan_cache_misses, misses_before);
+
+  (void)heavy.wait();
+  (void)queued.wait();
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServeEngine, CancelQueuedJob) {
+  serve::Engine engine({.workers = 1, .queue_capacity = 4});
+  serve::JobHandle heavy = engine.submit(heavy_request());
+  while (heavy.status() == serve::JobStatus::kQueued)
+    std::this_thread::yield();
+
+  serve::JobHandle victim = engine.submit(ghz_request());
+  EXPECT_TRUE(victim.cancel());
+  EXPECT_EQ(victim.status(), serve::JobStatus::kCancelled);
+  EXPECT_FALSE(victim.cancel());  // already terminal
+  EXPECT_THROW((void)victim.wait(), runtime_failure);
+
+  const RunResult& run = heavy.wait();
+  EXPECT_GT(run.result.total_shots(), 0u);
+  EXPECT_FALSE(heavy.cancel());  // done jobs cannot be cancelled
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.served, 1u);
+}
+
+TEST(ServeEngine, CancelFreesAdmissionSlot) {
+  serve::Engine engine({.workers = 1, .queue_capacity = 1});
+  serve::JobHandle heavy = engine.submit(heavy_request());
+  while (heavy.status() == serve::JobStatus::kQueued)
+    std::this_thread::yield();
+
+  serve::JobHandle victim = engine.submit(ghz_request());
+  EXPECT_EQ(victim.status(), serve::JobStatus::kQueued);  // queue now full
+  EXPECT_TRUE(victim.cancel());
+  // The tombstone must not keep counting against capacity: the next
+  // submit reclaims the slot instead of being rejected.
+  serve::JobHandle next = engine.submit(ghz_request());
+  EXPECT_EQ(next.status(), serve::JobStatus::kQueued);
+  (void)heavy.wait();
+  (void)next.wait();
+  EXPECT_EQ(engine.stats().rejected, 0u);
+  EXPECT_EQ(engine.stats().served, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ExecPlan cache.
+// ---------------------------------------------------------------------------
+
+TEST(ServeEngine, PlanCacheHitsOnRepeatCircuits) {
+  serve::Engine engine(
+      {.workers = 1, .queue_capacity = 8, .plan_cache_capacity = 4});
+
+  serve::JobHandle first = engine.submit(ghz_request());
+  EXPECT_FALSE(first.plan_cache_hit());
+  serve::JobHandle second = engine.submit(ghz_request());
+  EXPECT_TRUE(second.plan_cache_hit());
+
+  // Formatting-only differences collapse onto the same cache entry: keys
+  // are the canonical text of the *parsed* program.
+  serve::JobRequest reformatted = ghz_request();
+  reformatted.circuit_text =
+      "# tenant formatting\n" + reformatted.circuit_text + "\n# trailing\n";
+  serve::JobHandle third = engine.submit(reformatted);
+  EXPECT_TRUE(third.plan_cache_hit());
+
+  // A different BackendConfig must not alias the cached plan.
+  serve::JobRequest fused = ghz_request();
+  fused.backend_config.fuse_gates = true;
+  serve::JobHandle fourth = engine.submit(fused);
+  EXPECT_FALSE(fourth.plan_cache_hit());
+
+  // And the cached plan changes nothing observable: hit == miss, bitwise.
+  expect_same_result(first.wait(), second.wait());
+  expect_same_result(first.wait(), third.wait());
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache_hits, 2u);
+  EXPECT_EQ(stats.plan_cache_misses, 2u);
+  EXPECT_NEAR(stats.plan_cache_hit_rate(), 0.5, 1e-12);
+}
+
+TEST(ServeEngine, PlanCacheEvictsLeastRecentlyUsed) {
+  serve::PlanCache cache(2);
+  const auto plan = [] { return std::make_shared<const ExecPlan>(); };
+  cache.insert("a", plan());
+  cache.insert("b", plan());
+  EXPECT_NE(cache.lookup("a"), nullptr);  // refreshes "a"; "b" is now LRU
+  cache.insert("c", plan());              // evicts "b"
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+
+  serve::PlanCache disabled(0);
+  disabled.insert("a", plan());
+  EXPECT_EQ(disabled.lookup("a"), nullptr);
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(ServeEngine, CacheDisabledStillServes) {
+  serve::Engine engine(
+      {.workers = 1, .queue_capacity = 4, .plan_cache_capacity = 0});
+  serve::JobHandle a = engine.submit(ghz_request());
+  serve::JobHandle b = engine.submit(ghz_request());
+  expect_same_result(a.wait(), b.wait());
+  EXPECT_FALSE(a.plan_cache_hit());
+  EXPECT_FALSE(b.plan_cache_hit());
+  EXPECT_EQ(engine.stats().plan_cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract: served == standalone, bit for bit, for every
+// strategy × backend × schedule × threads cell — submitted concurrently so
+// jobs genuinely contend for the worker pool and the plan cache.
+// ---------------------------------------------------------------------------
+
+struct MatrixCell {
+  const char* strategy;
+  const char* backend;
+  be::Schedule schedule;
+  std::size_t threads;
+};
+
+TEST(ServeDeterminism, MatrixMatchesStandalonePipeline) {
+  const std::vector<MatrixCell> cells = {
+      {"probabilistic", "statevector", be::Schedule::kIndependent, 1},
+      {"probabilistic", "statevector", be::Schedule::kSharedPrefix, 2},
+      {"probabilistic", "mps", be::Schedule::kIndependent, 2},
+      {"probabilistic", "stabilizer", be::Schedule::kIndependent, 1},
+      {"probabilistic", "stabilizer", be::Schedule::kSharedPrefix, 2},
+      {"band", "statevector", be::Schedule::kIndependent, 2},
+      {"band", "statevector", be::Schedule::kSharedPrefix, 1},
+      {"band", "mps", be::Schedule::kSharedPrefix, 2},
+      {"proportional", "statevector", be::Schedule::kIndependent, 1},
+      {"enumerate", "densmat", be::Schedule::kIndependent, 1},
+  };
+
+  const std::string text = ghz_ptq(4);
+  const auto request_for = [&](const MatrixCell& cell) {
+    serve::JobRequest req;
+    req.circuit_text = text;
+    req.strategy = cell.strategy;
+    req.backend = cell.backend;
+    req.schedule = cell.schedule;
+    req.threads = cell.threads;
+    req.seed = 20260728;
+    req.strategy_config.nsamples = 200;
+    req.strategy_config.nshots = 50;
+    req.strategy_config.p_min = 1e-9;
+    req.strategy_config.p_max = 1.0;
+    req.strategy_config.probability_cutoff = 1e-6;
+    return req;
+  };
+
+  // Saturate a small pool so cells genuinely run concurrently.
+  serve::Engine engine(
+      {.workers = 4, .queue_capacity = cells.size(), .plan_cache_capacity = 8});
+  std::vector<serve::JobHandle> jobs;
+  jobs.reserve(cells.size());
+  for (const MatrixCell& cell : cells) jobs.push_back(engine.submit(request_for(cell)));
+
+  const NoisyCircuit program = io::parse_circuit(text);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const MatrixCell& cell = cells[i];
+    SCOPED_TRACE(std::string(cell.strategy) + "/" + cell.backend + "/" +
+                 be::to_string(cell.schedule) + "/t" +
+                 std::to_string(cell.threads));
+    const serve::JobRequest req = request_for(cell);
+    const RunResult standalone = Pipeline(program)
+                                     .strategy(req.strategy, req.strategy_config)
+                                     .backend(req.backend, req.backend_config)
+                                     .schedule(req.schedule)
+                                     .threads(req.threads)
+                                     .seed(req.seed)
+                                     .run();
+    const RunResult& served = jobs[i].wait();
+    expect_same_result(standalone, served);
+
+    // Dataset bytes, not just records: the full export path agrees.
+    const std::string dir = ::testing::TempDir();
+    const std::string path_a = dir + "serve_det_a_" + std::to_string(i) + ".bin";
+    const std::string path_b = dir + "serve_det_b_" + std::to_string(i) + ".bin";
+    standalone.to_binary(path_a);
+    served.to_binary(path_b);
+    EXPECT_EQ(file_bytes(path_a), file_bytes(path_b));
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+  }
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.served, cells.size());
+  EXPECT_EQ(stats.failed, 0u);
+  // Nine plan-using cells share one (circuit, config) key per backend;
+  // repeats must have hit (stabilizer runs plan-less and does no lookup).
+  EXPECT_GE(stats.plan_cache_hits, 4u);
+}
+
+}  // namespace
+}  // namespace ptsbe
