@@ -13,10 +13,18 @@
 //   ptsbe_cli --strategy band --p-min 1e-6 --p-max 1e-2 --backend mps
 //   ptsbe_cli --strategy enumerate --cutoff 1e-5 --devices 8 --seed 7
 //   ptsbe_cli --circuit bell.ptq --nshots 1000
+//   ptsbe_cli --qec repetition --distance 5 --rounds 3
 //
 // With --circuit the workload is read from a `.ptq` file (circuit + noise
 // sites as data — see ptsbe/io/ptq.hpp) instead of the built-in GHZ demo;
 // --qubits/--noise then do not apply.
+//
+// With --qec the workload is a QEC memory experiment (qec::make_memory_workload):
+// encode, --rounds of syndrome extraction, transversal readout, with
+// depolarizing gate noise of strength --noise (readout bit-flips at half
+// that). The records are decoded (--decoder) and the logical error rate is
+// reported with a 95% Wilson interval; --emit-ptq saves the exact noisy
+// program as a `.ptq` job spec a serve::Engine tenant can submit verbatim.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +36,7 @@
 #include "ptsbe/core/pipeline.hpp"
 #include "ptsbe/io/ptq.hpp"
 #include "ptsbe/noise/channels.hpp"
+#include "ptsbe/qec/metrics.hpp"
 
 namespace {
 
@@ -44,6 +53,17 @@ void usage(std::FILE* os, const char* argv0) {
       "                         preparation sweep (amplitude backends)\n"
       "  --circuit PATH         run the .ptq circuit file instead of the\n"
       "                         built-in GHZ demo (--qubits/--noise ignored)\n"
+      "  --qec CODE             run a QEC memory experiment instead of the\n"
+      "                         GHZ demo: repetition, surface or steane\n"
+      "  --distance D           QEC code distance [3]\n"
+      "  --rounds R             QEC syndrome-extraction rounds [2]\n"
+      "  --basis B              QEC memory basis: z or x [z]\n"
+      "  --decoder NAME         QEC decoder: lookup, union-find (both\n"
+      "                         final-data spatial) or st-union-find\n"
+      "                         (space-time, decodes the syndrome history)\n"
+      "                         [st-union-find]\n"
+      "  --emit-ptq PATH        save the QEC noisy program as a .ptq job\n"
+      "                         spec (servable via serve::Engine)\n"
       "  --qubits N             GHZ workload width [6]\n"
       "  --noise P              depolarizing probability per gate [0.01]\n"
       "  --nsamples N           candidate trajectory draws [2000]\n"
@@ -79,9 +99,16 @@ int main(int argc, char** argv) {
 
   std::string strategy = "probabilistic";
   std::string backend = "statevector";
+  bool backend_explicit = false;
   std::string schedule = "independent";
   bool fuse = false;
   std::string circuit_path;
+  std::string qec_code;
+  unsigned qec_distance = 3;
+  unsigned qec_rounds = 2;
+  std::string qec_basis = "z";
+  std::string qec_decoder = "st-union-find";
+  std::string emit_ptq_path;
   std::string csv_path, binary_path;
   unsigned qubits = 6;
   double noise_p = 0.01;
@@ -117,12 +144,25 @@ int main(int argc, char** argv) {
       strategy = value();
     } else if (arg == "--backend") {
       backend = value();
+      backend_explicit = true;
     } else if (arg == "--schedule") {
       schedule = value();
     } else if (arg == "--fuse") {
       fuse = true;
     } else if (arg == "--circuit") {
       circuit_path = value();
+    } else if (arg == "--qec") {
+      qec_code = value();
+    } else if (arg == "--distance") {
+      qec_distance = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--rounds") {
+      qec_rounds = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--basis") {
+      qec_basis = value();
+    } else if (arg == "--decoder") {
+      qec_decoder = value();
+    } else if (arg == "--emit-ptq") {
+      emit_ptq_path = value();
     } else if (arg == "--qubits") {
       qubits = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--noise") {
@@ -178,6 +218,112 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     reject(argv[0], e.what());
   }
+  // QEC-mode names fail fast too (the builders own the name lists).
+  if (!qec_code.empty()) {
+    if (!circuit_path.empty())
+      reject(argv[0], "--qec and --circuit are mutually exclusive");
+    if (qec_code != "repetition" && qec_code != "surface" &&
+        qec_code != "steane")
+      reject(argv[0], "unknown code '" + qec_code +
+                          "'; known codes: repetition surface steane");
+    if (qec_decoder != "lookup" && qec_decoder != "union-find" &&
+        qec_decoder != "st-union-find")
+      reject(argv[0],
+             "unknown decoder '" + qec_decoder +
+                 "'; known decoders: lookup union-find st-union-find");
+    try {
+      (void)qec::basis_from_string(qec_basis);
+    } catch (const std::exception& e) {
+      reject(argv[0], e.what());
+    }
+  }
+  // --qec mode: build the memory workload, run it through the very same
+  // pipeline flags, decode, and report the logical error rate.
+  if (!qec_code.empty()) {
+    try {
+      qec::MemoryWorkloadConfig qcfg;
+      qcfg.code = qec_code;
+      qcfg.distance = qec_distance;
+      qcfg.rounds = qec_rounds;
+      qcfg.basis = qec::basis_from_string(qec_basis);
+      qcfg.noise = noise_p;
+      const qec::MemoryWorkload workload = qec::make_memory_workload(qcfg);
+
+      if (!emit_ptq_path.empty()) {
+        const std::string text = workload.to_ptq();
+        std::FILE* f = std::fopen(emit_ptq_path.c_str(), "wb");
+        if (f == nullptr) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       emit_ptq_path.c_str());
+          return 1;
+        }
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (servable .ptq job spec)\n",
+                    emit_ptq_path.c_str());
+      }
+
+      const auto decoder =
+          qec::make_shot_decoder(qec_decoder, workload.experiment);
+      // Clifford + Pauli-mixture workloads default to the stabilizer
+      // backend; an explicit --backend still wins.
+      const std::string qec_backend = backend_explicit ? backend : "stabilizer";
+      BackendConfig backend_cfg;
+      backend_cfg.fuse_gates = fuse;
+      const RunResult run = Pipeline(workload.noisy)
+                                .strategy(strategy, cfg)
+                                .backend(qec_backend, backend_cfg)
+                                .schedule(be::schedule_from_string(schedule))
+                                .threads(threads)
+                                .devices(devices)
+                                .seed(seed)
+                                .run();
+      qec::LogicalErrorAccumulator acc(*decoder, run.weighting);
+      acc.consume(run.result);
+
+      std::printf(
+          "pipeline: strategy=%s backend=%s schedule=%s%s fuse=%d "
+          "threads=%zu devices=%zu seed=%llu\n",
+          run.strategy.c_str(), run.backend.c_str(),
+          to_string(run.schedule_executed).c_str(),
+          run.schedule_fell_back() ? " (fell back from shared-prefix)" : "",
+          fuse ? 1 : 0, threads, devices,
+          static_cast<unsigned long long>(seed));
+      std::printf(
+          "qec: code=%s distance=%u rounds=%u basis=%s decoder=%s "
+          "noise=%g readout=%g qubits=%u\n",
+          qcfg.code.c_str(), qcfg.distance, qcfg.rounds,
+          qec::to_string(qcfg.basis).c_str(), decoder->name().c_str(),
+          qcfg.noise, qcfg.effective_readout_noise(),
+          workload.noisy.num_qubits());
+      std::printf("specs=%zu shots=%llu prep=%.3fs sample=%.3fs\n",
+                  run.num_specs,
+                  static_cast<unsigned long long>(run.result.total_shots()),
+                  run.result.prepare_seconds, run.result.sample_seconds);
+      const qec::WilsonInterval ci = acc.wilson();
+      std::printf(
+          "logical error rate = %.6e (95%% CI %.3e..%.3e), failures "
+          "%llu/%llu, effective shots %.1f\n",
+          acc.logical_error_rate(), ci.lower, ci.upper,
+          static_cast<unsigned long long>(acc.failures()),
+          static_cast<unsigned long long>(acc.shots()),
+          acc.effective_shots());
+
+      if (!csv_path.empty()) {
+        run.to_csv(csv_path);
+        std::printf("wrote %s\n", csv_path.c_str());
+      }
+      if (!binary_path.empty()) {
+        run.to_binary(binary_path);
+        std::printf("wrote %s\n", binary_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   // --circuit is validated up front too: an unreadable or malformed file
   // fails fast with usage + exit 2 (the ParseError message carries the
   // offending path:line:column), before any state is allocated.

@@ -25,17 +25,28 @@ std::size_t record_width(const NoisyCircuit& noisy) {
   return measured == 0 ? noisy.num_qubits() : measured;
 }
 
-/// True when no gate op follows a measure op — the terminal-measurement
-/// convention the circuit IR documents. Backends that record outcomes *at*
-/// the measure step (stabilizer) only match the sample-the-final-state
-/// backends on this fragment, so the stabilizer declines violations.
-bool measurements_are_terminal(const Circuit& circuit) {
-  bool seen_measure = false;
-  for (const Operation& op : circuit.ops()) {
-    if (op.kind == OpKind::kMeasure)
-      seen_measure = true;
-    else if (seen_measure)
-      return false;
+/// True when every measurement commutes to the end of the circuit: once a
+/// qubit is measured, no gate, second measurement, or noise site — other
+/// than readout noise attached to that same measure op, which fires before
+/// the record is taken — touches it again. Under this condition recording
+/// *at* the measure step (stabilizer frame sampler) and sampling the final
+/// state (amplitude backends) give the same distribution, which is what
+/// admits QEC syndrome-extraction circuits: each ancilla is measured
+/// mid-circuit but quiescent afterwards. Terminal-measurement circuits
+/// pass trivially.
+bool measurements_are_deferrable(const NoisyCircuit& noisy) {
+  const auto& ops = noisy.circuit().ops();
+  std::vector<bool> measured(noisy.num_qubits(), false);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    for (unsigned q : op.qubits)
+      if (measured[q]) return false;
+    const bool is_measure = op.kind == OpKind::kMeasure;
+    const unsigned mq = is_measure ? op.qubits.front() : 0;
+    if (is_measure) measured[mq] = true;
+    for (std::size_t id : noisy.sites_after(i))
+      for (unsigned q : noisy.sites()[id].qubits)
+        if (measured[q] && !(is_measure && q == mq)) return false;
   }
   return true;
 }
@@ -220,7 +231,7 @@ class StabilizerBackend final : public Backend {
 
   [[nodiscard]] bool supports(const NoisyCircuit& noisy) const override {
     return noisy.num_qubits() >= 1 && record_width(noisy) <= 64 &&
-           measurements_are_terminal(noisy.circuit()) &&
+           measurements_are_deferrable(noisy) &&
            PauliFrameSampler::is_supported(noisy);
   }
 

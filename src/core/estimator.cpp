@@ -8,6 +8,24 @@
 
 namespace ptsbe::be {
 
+double shot_weight(const TrajectoryBatch& batch, Weighting weighting) {
+  if (batch.records.empty()) return 0.0;  // unrealizable spec
+  double v = 0.0;
+  switch (weighting) {
+    case Weighting::kDrawWeighted:
+      // Each shot is one draw; correct nominal→realised.
+      PTSBE_REQUIRE(batch.spec.nominal_probability > 0.0,
+                    "draw-weighted batch with zero nominal probability");
+      v = batch.realized_probability / batch.spec.nominal_probability;
+      break;
+    case Weighting::kProbabilityWeighted:
+      v = batch.realized_probability /
+          static_cast<double>(batch.records.size());
+      break;
+  }
+  return v > 0.0 ? v : 0.0;
+}
+
 Estimate estimate(const Result& result, Weighting weighting,
                   const std::function<double(std::uint64_t)>& f) {
   PTSBE_REQUIRE(static_cast<bool>(f), "estimator needs an observable");
@@ -20,20 +38,7 @@ Estimate estimate(const Result& result, Weighting weighting,
   std::vector<double> per_shot_weight;
   std::vector<double> values;
   for (const TrajectoryBatch& batch : result.batches) {
-    if (batch.records.empty()) continue;  // unrealizable spec
-    double v = 0.0;
-    switch (weighting) {
-      case Weighting::kDrawWeighted:
-        // Each shot is one draw; correct nominal→realised.
-        PTSBE_REQUIRE(batch.spec.nominal_probability > 0.0,
-                      "draw-weighted batch with zero nominal probability");
-        v = batch.realized_probability / batch.spec.nominal_probability;
-        break;
-      case Weighting::kProbabilityWeighted:
-        v = batch.realized_probability /
-            static_cast<double>(batch.records.size());
-        break;
-    }
+    const double v = shot_weight(batch, weighting);
     if (v <= 0.0) continue;
     for (std::uint64_t r : batch.records) {
       per_shot_weight.push_back(v);

@@ -38,6 +38,17 @@ struct Estimate {
   double total_weight = 0.0;  ///< Probability mass covered (diagnostics).
 };
 
+/// Per-shot importance weight of one batch under `weighting` — the single
+/// definition shared by the estimators and by streaming consumers
+/// (`qec::metrics` accumulates through a `BatchSink` with exactly this
+/// rule, so streaming and batch analytics agree bit-for-bit). Returns 0
+/// for batches to skip: unrealizable specs (empty records) and
+/// non-positive weights.
+/// \throws precondition_error for a draw-weighted batch whose spec has
+///         zero nominal probability.
+[[nodiscard]] double shot_weight(const TrajectoryBatch& batch,
+                                 Weighting weighting);
+
 /// Estimate E[f(record)] under the physical noisy distribution from a BE
 /// result; `f` maps a measurement record to a real value (e.g. a parity
 /// ±1, an acceptance indicator, a decoded logical bit).

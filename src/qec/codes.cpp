@@ -15,6 +15,19 @@ PauliString from_support(std::uint64_t support, bool x_type) {
 
 }  // namespace
 
+const std::string& to_string(CssBasis basis) {
+  static const std::string kZ = "z";
+  static const std::string kX = "x";
+  return basis == CssBasis::kZ ? kZ : kX;
+}
+
+CssBasis basis_from_string(const std::string& name) {
+  if (name == "z" || name == "Z") return CssBasis::kZ;
+  if (name == "x" || name == "X") return CssBasis::kX;
+  throw precondition_error("unknown readout basis '" + name +
+                           "'; known bases: z x");
+}
+
 CssCode steane() {
   CssCode code;
   code.name = "steane";
@@ -33,6 +46,7 @@ CssCode steane() {
     code.stabilizers.push_back(from_support(s, false));
   code.logical_x = from_support(0x7F, true);
   code.logical_z = from_support(0x7F, false);
+  code.code_distance = 3;
   code.validate();
   return code;
 }
@@ -86,8 +100,37 @@ CssCode rotated_surface_code(unsigned d) {
   for (unsigned r = 0; r < d; ++r) xcol |= 1ULL << qubit(r, 0);
   code.logical_z = from_support(zrow, false);
   code.logical_x = from_support(xcol, true);
+  code.code_distance = d;
   code.validate();
   return code;
+}
+
+CssCode repetition_code(unsigned d) {
+  PTSBE_REQUIRE(d >= 3 && d % 2 == 1 && d <= 63,
+                "repetition distance must be odd, 3..63");
+  CssCode code;
+  code.name = "repetition_" + std::to_string(d);
+  code.n = d;
+  for (unsigned i = 0; i + 1 < d; ++i)
+    code.z_supports.push_back(3ULL << i);  // Z_i Z_{i+1}
+  for (std::uint64_t s : code.z_supports)
+    code.stabilizers.push_back(from_support(s, false));
+  code.logical_z = from_support(1, false);               // Z_0
+  code.logical_x = from_support((1ULL << d) - 1, true);  // X⊗d
+  code.code_distance = d;
+  code.validate();
+  return code;
+}
+
+CssCode make_code(const std::string& name, unsigned distance) {
+  if (name == "repetition") return repetition_code(distance);
+  if (name == "surface") return rotated_surface_code(distance);
+  if (name == "steane") {
+    PTSBE_REQUIRE(distance == 3, "steane is a fixed distance-3 code");
+    return steane();
+  }
+  throw precondition_error("unknown code '" + name +
+                           "'; known codes: repetition surface steane");
 }
 
 StabilizerCode five_qubit_code() {

@@ -14,17 +14,42 @@
 /// the codes are consumed.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ptsbe/qec/stabilizer_code.hpp"
 
 namespace ptsbe::qec {
 
+/// Transversal readout basis of a CSS block. Z-basis readouts detect X
+/// errors through the Z-type supports; X-basis readouts detect Z errors
+/// through the X-type supports. Decoders and memory experiments take the
+/// basis as a parameter and pick the matching support set.
+enum class CssBasis : std::uint8_t { kZ, kX };
+
+/// Registry-style name ("z" / "x").
+[[nodiscard]] const std::string& to_string(CssBasis basis);
+[[nodiscard]] CssBasis basis_from_string(const std::string& name);
+
 /// A CSS [[n,1,d]] code: the generic stabilizer description plus the
 /// X-/Z-type support masks the syndrome decoder consumes.
 struct CssCode : StabilizerCode {
   std::vector<std::uint64_t> x_supports;  ///< X-type generator supports.
   std::vector<std::uint64_t> z_supports;  ///< Z-type generator supports.
+  /// Designed distance in the Z readout basis (bit-flip distance). For the
+  /// self-dual codes this is the full code distance; the repetition code
+  /// protects X errors only, so its X-basis distance is 1.
+  unsigned code_distance = 0;
+
+  /// Check supports consumed by a `basis` readout decoder.
+  [[nodiscard]] const std::vector<std::uint64_t>& check_supports(
+      CssBasis basis) const {
+    return basis == CssBasis::kZ ? z_supports : x_supports;
+  }
+  /// Support mask of the logical operator a `basis` readout measures.
+  [[nodiscard]] std::uint64_t logical_support(CssBasis basis) const {
+    return basis == CssBasis::kZ ? logical_z.z : logical_x.x;
+  }
 };
 
 /// The [[7,1,3]] Steane colour code (X and Z stabilizers share the Hamming
@@ -33,6 +58,17 @@ struct CssCode : StabilizerCode {
 
 /// The rotated surface code [[d², 1, d]] for odd d ≥ 3.
 [[nodiscard]] CssCode rotated_surface_code(unsigned d);
+
+/// The [[d,1]] bit-flip repetition code for odd d ≥ 3: Z-type checks
+/// Z_i Z_{i+1}, logical Z̄ = Z_0, X̄ = X⊗d. Distance d against X errors,
+/// 1 against Z errors — the classic threshold-study workload (and the
+/// smallest code whose union-find decoding graph is a nontrivial chain).
+[[nodiscard]] CssCode repetition_code(unsigned d);
+
+/// Code lookup by registry-style name: "repetition", "surface" (rotated
+/// surface code), or "steane" (distance must be 3).
+/// \throws precondition_error on unknown names or unsupported distances.
+[[nodiscard]] CssCode make_code(const std::string& name, unsigned distance);
 
 /// The [[5,1,3]] perfect code (non-CSS, cyclic stabilizers XZZXI…); its
 /// decoder realises the 5→1 magic state distillation.

@@ -30,6 +30,7 @@ struct MemoryExperiment {
   CssCode code;       ///< The protected block (data qubits 0..n-1).
   unsigned rounds = 0;
   unsigned ancillas_per_round = 0;  ///< = #X stabs + #Z stabs.
+  CssBasis basis = CssBasis::kZ;    ///< Preparation + readout basis.
 
   /// Record-bit index of ancilla `a` in round `r` (measurement order:
   /// round-major ancillas, then the n data bits).
@@ -47,12 +48,39 @@ struct MemoryExperiment {
   }
 };
 
-/// Build the memory experiment: |0_L⟩ preparation via the synthesized
-/// encoder, `rounds` rounds of syndrome extraction (X-type checks via
+/// How the logical state is prepared.
+///
+/// `kEncoder` runs the synthesized unitary encoder — faithful to the code's
+/// algebra and the right choice for state-injection demos, but the cascade
+/// is not fault-tolerant: under circuit-level noise a single fault on the
+/// logical-input qubit mid-encoder becomes an undetectable logical flip,
+/// so logical error rates scale *linearly* with physical noise and larger
+/// distances only add encoder depth.
+///
+/// `kProduct` prepares the basis product state instead: |0⟩^n for the Z
+/// basis (a +1 eigenstate of every Z-check and of Z̄ for any CSS code) and
+/// |+⟩^n for the X basis. The first extraction round projects into the
+/// code space — the standard memory-experiment construction — and no
+/// single fault is a logical operator, so distance buys genuine
+/// sub-threshold suppression. Threshold measurements must use this.
+enum class PrepStyle : std::uint8_t { kEncoder, kProduct };
+
+/// Build the memory experiment: logical-state preparation (see PrepStyle;
+/// for `kEncoder` an H on the logical input selects |+_L⟩ in the X basis),
+/// `rounds` rounds of syndrome extraction (X-type checks via
 /// H-ancilla/CX-to-data/H, Z-type checks via CX-from-data), ancilla
-/// measurement each round, and a final transversal data measurement.
-[[nodiscard]] MemoryExperiment make_memory_experiment(const CssCode& code,
-                                                      unsigned rounds);
+/// measurement each round, and a final transversal data measurement
+/// (preceded by transversal H for the X basis).
+[[nodiscard]] MemoryExperiment make_memory_experiment(
+    const CssCode& code, unsigned rounds, CssBasis basis = CssBasis::kZ,
+    PrepStyle prep = PrepStyle::kEncoder);
+
+/// Decode one shot of the experiment with any `Decoder` built for the
+/// experiment's basis: correct the final data readout and return the
+/// measured logical value (0 = success).
+[[nodiscard]] unsigned decode_memory_shot(const MemoryExperiment& experiment,
+                                          const Decoder& decoder,
+                                          std::uint64_t record);
 
 /// Decode one shot of the experiment: lookup-correct the final data readout
 /// and return the logical Z value (0 = success for a |0_L⟩ memory).
@@ -62,7 +90,7 @@ struct MemoryExperiment {
 
 /// Logical error rate over a batch of records.
 [[nodiscard]] double memory_logical_error_rate(
-    const MemoryExperiment& experiment, const CssLookupDecoder& decoder,
+    const MemoryExperiment& experiment, const Decoder& decoder,
     const std::vector<std::uint64_t>& records);
 
 }  // namespace ptsbe::qec

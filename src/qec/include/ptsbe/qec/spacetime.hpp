@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file spacetime.hpp
+/// \brief Whole-record decoding: spatial wrappers and the space-time
+///        union-find decoder over the detector graph.
+///
+/// Final-data-only ("spatial") decoding throws the syndrome history away.
+/// For circuit-level noise that forfeits the threshold: data errors stay
+/// independent per qubit with flip probability < 1/2, so a larger distance
+/// always wins and the d=3/d=5 curves never cross. The *space-time* view
+/// restores the real physics. Detectors are syndrome **differences**:
+///
+///   D(c, 0) = s(c, round 0)                 (reference syndrome is 0)
+///   D(c, r) = s(c, r) XOR s(c, r−1)         (0 < r < rounds)
+///   D(c, R) = s_final(c) XOR s(c, R−1)      (from the final data readout)
+///
+/// Error mechanisms are the edges of a matchable graph over the detectors:
+/// a data-qubit flip entering between extraction layers lights the adjacent
+/// detectors of one layer (space edge); an ancilla-readout error lights the
+/// same check in two consecutive layers (time edge). Measurement errors are
+/// thereby *decoded* instead of poisoning the data correction, and above
+/// the threshold noise strength they overwhelm larger distances first —
+/// which is exactly the d=3/d=5 crossing the threshold bench pins.
+///
+/// The graph is matchable (every mechanism touches ≤ 2 detectors), so the
+/// same `UnionFindDecoder` machinery runs it — detectors as "checks",
+/// mechanisms as "qubits".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ptsbe/qec/decoder.hpp"
+#include "ptsbe/qec/memory.hpp"
+
+namespace ptsbe::qec {
+
+/// Decodes a whole measurement record (ancilla history + final data
+/// readout) of one memory experiment. Immutable after construction,
+/// thread-safe, deterministic.
+class ShotDecoder {
+ public:
+  virtual ~ShotDecoder() = default;
+
+  /// Registry-style name ("lookup" / "union-find" / "st-union-find").
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+
+  /// Decoded logical value of one record; 0 = the memory succeeded.
+  [[nodiscard]] virtual unsigned decode_shot(std::uint64_t record) const = 0;
+};
+
+/// Spatial decoding behind the ShotDecoder interface: correct the final
+/// data readout with a syndrome `Decoder`, ignore the ancilla history.
+class SpatialShotDecoder final : public ShotDecoder {
+ public:
+  /// Wraps `decoder` (owned) for `experiment` (borrowed; must outlive this).
+  SpatialShotDecoder(const MemoryExperiment& experiment,
+                     std::unique_ptr<Decoder> decoder);
+
+  [[nodiscard]] const std::string& name() const noexcept override;
+  [[nodiscard]] unsigned decode_shot(std::uint64_t record) const override;
+
+ private:
+  const MemoryExperiment* experiment_;
+  std::unique_ptr<Decoder> decoder_;
+};
+
+/// Space-time union-find: build the detector graph of the experiment
+/// (checks × (rounds+1) layers; space + time edges as above) and decode
+/// each record's detector pattern with `UnionFindDecoder`. The decoded
+/// logical value is the raw final-readout parity XOR the parity of
+/// correction mechanisms crossing the logical support.
+///
+/// Capacity: detectors ≤ 63 and mechanisms ≤ 64 (both bit-packed), i.e.
+/// repetition up to d=7 at several rounds and the d=3 surface code —
+/// the construction throws beyond that.
+class SpaceTimeUnionFindDecoder final : public ShotDecoder {
+ public:
+  /// Borrows `experiment`; it must outlive the decoder.
+  explicit SpaceTimeUnionFindDecoder(const MemoryExperiment& experiment);
+
+  [[nodiscard]] const std::string& name() const noexcept override;
+  [[nodiscard]] unsigned decode_shot(std::uint64_t record) const override;
+
+  /// Detector bits of one record (layer-major: layer * num_checks + check).
+  [[nodiscard]] std::uint64_t detectors(std::uint64_t record) const;
+
+  [[nodiscard]] unsigned num_detectors() const noexcept {
+    return num_detectors_;
+  }
+  [[nodiscard]] unsigned num_mechanisms() const noexcept {
+    return num_mechanisms_;
+  }
+
+ private:
+  const MemoryExperiment* experiment_;
+  unsigned checks_ = 0;        ///< Basis checks per round.
+  unsigned check_offset_ = 0;  ///< Ancilla index of the first basis check.
+  unsigned num_detectors_ = 0;
+  unsigned num_mechanisms_ = 0;
+  std::uint64_t logical_mechanisms_ = 0;
+  std::unique_ptr<UnionFindDecoder> uf_;
+};
+
+/// Factory the CLI/bench/serve specs name whole-record decoders through:
+/// "lookup" and "union-find" decode spatially (final data readout only);
+/// "st-union-find" decodes the full space-time detector graph.
+/// \throws precondition_error on unknown kinds or capacity violations.
+[[nodiscard]] std::unique_ptr<ShotDecoder> make_shot_decoder(
+    const std::string& kind, const MemoryExperiment& experiment);
+
+}  // namespace ptsbe::qec

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file workload.hpp
+/// \brief Servable QEC workloads: named code + noise → noisy program + .ptq.
+///
+/// A `MemoryWorkload` bundles everything one threshold-sweep point needs:
+/// the generated memory experiment (layout bookkeeping for the decoder), the
+/// noise-bound program the pipeline executes, and — via `to_ptq()` — the
+/// exact `.ptq` text a `serve::JobRequest` carries. Because the job spec is
+/// the serialised noisy program itself, a sweep driven through
+/// `serve::Engine` executes bit-identically to a standalone
+/// `Pipeline(workload.noisy)` run with the same seed (pinned by the QEC
+/// determinism matrix in tests/test_qec_e2e.cpp).
+
+#include <string>
+
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/noise/noise_model.hpp"
+#include "ptsbe/qec/memory.hpp"
+
+namespace ptsbe::qec {
+
+/// One threshold-sweep point, registry-named throughout so the CLI/bench
+/// can build it from flags and a job spec can describe it as data.
+struct MemoryWorkloadConfig {
+  std::string code = "repetition";  ///< make_code name.
+  unsigned distance = 3;
+  unsigned rounds = 2;
+  CssBasis basis = CssBasis::kZ;
+  /// Single-qubit depolarizing strength attached after every gate
+  /// (0 disables gate noise).
+  double noise = 0.01;
+  /// Bit-flip probability before each measurement; negative = noise/2.
+  double readout_noise = -1.0;
+
+  /// The readout noise actually applied (resolves the negative default).
+  [[nodiscard]] double effective_readout_noise() const noexcept {
+    return readout_noise < 0.0 ? noise / 2.0 : readout_noise;
+  }
+};
+
+/// A built workload: experiment layout + the noisy program to execute.
+struct MemoryWorkload {
+  MemoryWorkloadConfig config;
+  MemoryExperiment experiment;
+  NoisyCircuit noisy;
+
+  /// `.ptq` serialisation of the noisy program — the servable job spec.
+  [[nodiscard]] std::string to_ptq() const;
+};
+
+/// The circuit-level noise model a workload config describes: depolarizing
+/// after every gate, bit-flip before every measurement.
+[[nodiscard]] NoiseModel make_memory_noise(const MemoryWorkloadConfig& config);
+
+/// Build the full workload (code lookup, circuit generation, noise
+/// binding). \throws precondition_error on unknown code names, unsupported
+/// distances, or blocks too wide for 64-bit record packing.
+[[nodiscard]] MemoryWorkload make_memory_workload(
+    const MemoryWorkloadConfig& config);
+
+}  // namespace ptsbe::qec

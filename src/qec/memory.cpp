@@ -1,15 +1,21 @@
 #include "ptsbe/qec/memory.hpp"
 
+#include "ptsbe/common/bits.hpp"
 #include "ptsbe/common/error.hpp"
 #include "ptsbe/qec/stabilizer_code.hpp"
 
 namespace ptsbe::qec {
 
-MemoryExperiment make_memory_experiment(const CssCode& code, unsigned rounds) {
+MemoryExperiment make_memory_experiment(const CssCode& code, unsigned rounds,
+                                        CssBasis basis, PrepStyle prep) {
   PTSBE_REQUIRE(rounds >= 1, "memory experiment needs at least one round");
+  PTSBE_REQUIRE(!code.check_supports(basis).empty(),
+                "code '" + code.name + "' has no " + to_string(basis) +
+                    "-basis checks — its memory cannot be decoded");
   MemoryExperiment exp;
   exp.code = code;
   exp.rounds = rounds;
+  exp.basis = basis;
   exp.ancillas_per_round =
       static_cast<unsigned>(code.x_supports.size() + code.z_supports.size());
   const unsigned total =
@@ -17,7 +23,16 @@ MemoryExperiment make_memory_experiment(const CssCode& code, unsigned rounds) {
   PTSBE_REQUIRE(total <= 64, "record packing supports up to 64 qubits");
 
   Circuit c(total);
-  c.append(synthesize_encoder(code));  // data block → |0_L⟩
+  if (prep == PrepStyle::kEncoder) {
+    // The encoder takes the logical input on qubit n−1: |0⟩ there encodes
+    // |0_L⟩; an H first prepares |+⟩ → |+_L⟩ for the X-basis memory.
+    if (basis == CssBasis::kX) c.h(code.n - 1);
+    c.append(synthesize_encoder(code));
+  } else if (basis == CssBasis::kX) {
+    // Product prep: |+⟩^n (Z basis needs nothing — |0⟩^n is the start
+    // state); the first extraction round completes the projection.
+    for (unsigned q = 0; q < code.n; ++q) c.h(q);
+  }
 
   unsigned next_ancilla = code.n;
   for (unsigned r = 0; r < rounds; ++r) {
@@ -40,19 +55,34 @@ MemoryExperiment make_memory_experiment(const CssCode& code, unsigned rounds) {
       c.measure(a);
     }
   }
+  if (basis == CssBasis::kX)
+    for (unsigned q = 0; q < code.n; ++q) c.h(q);
   for (unsigned q = 0; q < code.n; ++q) c.measure(q);
   exp.circuit = std::move(c);
   return exp;
 }
 
 unsigned decode_memory_shot(const MemoryExperiment& experiment,
+                            const Decoder& decoder, std::uint64_t record) {
+  const std::uint64_t data = experiment.data_bits(record);
+  const auto& supports = experiment.code.check_supports(experiment.basis);
+  const std::uint64_t corrected =
+      data ^ decoder.decode(css_syndrome(supports, data));
+  return parity64(corrected &
+                  experiment.code.logical_support(experiment.basis));
+}
+
+unsigned decode_memory_shot(const MemoryExperiment& experiment,
                             const CssLookupDecoder& decoder,
                             std::uint64_t record) {
+  PTSBE_REQUIRE(experiment.basis == CssBasis::kZ,
+                "CssLookupDecoder decodes Z-basis memories; use make_decoder "
+                "for the X basis");
   return decoder.logical_z_value(experiment.data_bits(record));
 }
 
 double memory_logical_error_rate(const MemoryExperiment& experiment,
-                                 const CssLookupDecoder& decoder,
+                                 const Decoder& decoder,
                                  const std::vector<std::uint64_t>& records) {
   PTSBE_REQUIRE(!records.empty(), "no records to decode");
   double errors = 0.0;

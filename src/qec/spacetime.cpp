@@ -1,0 +1,164 @@
+#include "ptsbe/qec/spacetime.hpp"
+
+#include "ptsbe/common/bits.hpp"
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::qec {
+
+SpatialShotDecoder::SpatialShotDecoder(const MemoryExperiment& experiment,
+                                       std::unique_ptr<Decoder> decoder)
+    : experiment_(&experiment), decoder_(std::move(decoder)) {
+  PTSBE_REQUIRE(decoder_ != nullptr,
+                "SpatialShotDecoder needs a syndrome decoder");
+}
+
+const std::string& SpatialShotDecoder::name() const noexcept {
+  return decoder_->name();
+}
+
+unsigned SpatialShotDecoder::decode_shot(std::uint64_t record) const {
+  return decode_memory_shot(*experiment_, *decoder_, record);
+}
+
+SpaceTimeUnionFindDecoder::SpaceTimeUnionFindDecoder(
+    const MemoryExperiment& experiment)
+    : experiment_(&experiment) {
+  const CssCode& code = experiment.code;
+  const auto& supports = code.check_supports(experiment.basis);
+  PTSBE_REQUIRE(!supports.empty(),
+                "code '" + code.name + "' has no " +
+                    to_string(experiment.basis) + "-basis checks");
+  checks_ = static_cast<unsigned>(supports.size());
+  // Ancillas within a round are laid out X-checks first, then Z-checks
+  // (make_memory_experiment); the basis selects which block is decoded.
+  check_offset_ = experiment.basis == CssBasis::kZ
+                      ? static_cast<unsigned>(code.x_supports.size())
+                      : 0;
+  const unsigned layers = experiment.rounds + 1;
+  num_detectors_ = checks_ * layers;
+  // Data qubits shared by two basis checks also admit *timing* faults: an
+  // error landing between the two checks' extractions within one round is
+  // seen by the later-extracted check that round but by the earlier one
+  // only the round after, lighting the diagonal pair
+  // D(c_later, r) / D(c_earlier, r+1). Without these edges union-find
+  // matches each diagonal defect to the boundary separately — through the
+  // logical support at O(p) — which flattens every curve to linear.
+  // Extraction order within a round is check-index order
+  // (make_memory_experiment), so earlier/later is min/max index.
+  struct DiagonalPair {
+    unsigned q, c_earlier, c_later;
+  };
+  std::vector<DiagonalPair> diagonals;
+  for (unsigned q = 0; q < code.n; ++q) {
+    unsigned count = 0, first = 0, last = 0;
+    for (unsigned c = 0; c < checks_; ++c)
+      if ((supports[c] >> q) & 1ULL) {
+        if (count == 0) first = c;
+        last = c;
+        ++count;
+      }
+    if (count == 2) diagonals.push_back({q, first, last});
+    PTSBE_REQUIRE(count <= 2,
+                  "space-time graph needs each data qubit in <= 2 basis "
+                  "checks (matchable timing faults)");
+  }
+  num_mechanisms_ = code.n * layers + checks_ * experiment.rounds +
+                    static_cast<unsigned>(diagonals.size()) *
+                        experiment.rounds;
+  PTSBE_REQUIRE(num_detectors_ <= 63,
+                "space-time graph needs <= 63 detectors; got " +
+                    std::to_string(num_detectors_));
+  PTSBE_REQUIRE(num_mechanisms_ <= 64,
+                "space-time graph needs <= 64 error mechanisms; got " +
+                    std::to_string(num_mechanisms_));
+
+  // Mechanism ids: space edges first (layer-major, one per data qubit per
+  // layer), then time edges (round-major, one per check per round), then
+  // diagonal edges (round-major, one per shared data qubit per round).
+  const auto space_mech = [&](unsigned layer, unsigned q) {
+    return layer * code.n + q;
+  };
+  const auto time_mech = [&](unsigned round, unsigned c) {
+    return code.n * layers + round * checks_ + c;
+  };
+  const auto diag_mech = [&](unsigned round, unsigned d) {
+    return code.n * layers + checks_ * experiment.rounds +
+           round * static_cast<unsigned>(diagonals.size()) + d;
+  };
+  std::vector<std::uint64_t> detector_supports(num_detectors_, 0);
+  for (unsigned t = 0; t < layers; ++t) {
+    for (unsigned c = 0; c < checks_; ++c) {
+      std::uint64_t& det = detector_supports[t * checks_ + c];
+      for (unsigned q = 0; q < code.n; ++q)
+        if ((supports[c] >> q) & 1ULL) det |= 1ULL << space_mech(t, q);
+      if (t < experiment.rounds) det |= 1ULL << time_mech(t, c);
+      if (t > 0) det |= 1ULL << time_mech(t - 1, c);
+    }
+  }
+  for (unsigned r = 0; r < experiment.rounds; ++r) {
+    for (unsigned d = 0; d < diagonals.size(); ++d) {
+      const DiagonalPair& pair = diagonals[d];
+      detector_supports[r * checks_ + pair.c_later] |= 1ULL << diag_mech(r, d);
+      detector_supports[(r + 1) * checks_ + pair.c_earlier] |=
+          1ULL << diag_mech(r, d);
+    }
+  }
+  // A space or diagonal edge persists to the final readout, so every
+  // layer's copy of a logical-support qubit crosses the logical cut.
+  const std::uint64_t logical = code.logical_support(experiment.basis);
+  for (unsigned t = 0; t < layers; ++t)
+    for (unsigned q = 0; q < code.n; ++q)
+      if ((logical >> q) & 1ULL)
+        logical_mechanisms_ |= 1ULL << space_mech(t, q);
+  for (unsigned r = 0; r < experiment.rounds; ++r)
+    for (unsigned d = 0; d < diagonals.size(); ++d)
+      if ((logical >> diagonals[d].q) & 1ULL)
+        logical_mechanisms_ |= 1ULL << diag_mech(r, d);
+
+  uf_ = std::make_unique<UnionFindDecoder>(detector_supports, num_mechanisms_);
+}
+
+const std::string& SpaceTimeUnionFindDecoder::name() const noexcept {
+  static const std::string kName = "st-union-find";
+  return kName;
+}
+
+std::uint64_t SpaceTimeUnionFindDecoder::detectors(
+    std::uint64_t record) const {
+  const MemoryExperiment& exp = *experiment_;
+  std::uint64_t det = 0;
+  std::uint64_t prev = 0;
+  for (unsigned r = 0; r < exp.rounds; ++r) {
+    std::uint64_t s = 0;
+    for (unsigned c = 0; c < checks_; ++c)
+      s |= ((record >> exp.ancilla_bit(r, check_offset_ + c)) & 1ULL) << c;
+    det |= (s ^ prev) << (r * checks_);
+    prev = s;
+  }
+  const auto& supports = exp.code.check_supports(exp.basis);
+  const std::uint64_t s_final = css_syndrome(supports, exp.data_bits(record));
+  det |= (s_final ^ prev) << (exp.rounds * checks_);
+  return det;
+}
+
+unsigned SpaceTimeUnionFindDecoder::decode_shot(std::uint64_t record) const {
+  const std::uint64_t correction = uf_->decode(detectors(record));
+  const unsigned raw = parity64(experiment_->data_bits(record) &
+                                experiment_->code.logical_support(
+                                    experiment_->basis));
+  return raw ^ parity64(correction & logical_mechanisms_);
+}
+
+std::unique_ptr<ShotDecoder> make_shot_decoder(
+    const std::string& kind, const MemoryExperiment& experiment) {
+  if (kind == "st-union-find")
+    return std::make_unique<SpaceTimeUnionFindDecoder>(experiment);
+  if (kind == "lookup" || kind == "union-find")
+    return std::make_unique<SpatialShotDecoder>(
+        experiment, make_decoder(kind, experiment.code, experiment.basis));
+  throw precondition_error("unknown decoder '" + kind +
+                           "'; known decoders: lookup union-find "
+                           "st-union-find");
+}
+
+}  // namespace ptsbe::qec

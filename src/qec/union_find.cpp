@@ -1,0 +1,179 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/qec/decoder.hpp"
+
+namespace ptsbe::qec {
+
+namespace {
+
+const std::string kUnionFindName = "union-find";
+
+/// Disjoint-set over graph nodes carrying per-cluster defect parity and a
+/// "contains the boundary node" flag — the two facts cluster growth needs.
+struct Clusters {
+  std::vector<unsigned> parent;
+  std::vector<unsigned> rank;
+  std::vector<std::uint8_t> parity;
+  std::vector<std::uint8_t> boundary;
+
+  explicit Clusters(unsigned n)
+      : parent(n), rank(n, 0), parity(n, 0), boundary(n, 0) {
+    for (unsigned i = 0; i < n; ++i) parent[i] = i;
+  }
+  unsigned find(unsigned v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+  void unite(unsigned a, unsigned b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    parity[a] ^= parity[b];
+    boundary[a] |= boundary[b];
+    if (rank[a] == rank[b]) ++rank[a];
+  }
+};
+
+}  // namespace
+
+UnionFindDecoder::UnionFindDecoder(
+    const std::vector<std::uint64_t>& check_supports, unsigned num_qubits) {
+  PTSBE_REQUIRE(!check_supports.empty(),
+                "union-find decoder needs at least one check support");
+  PTSBE_REQUIRE(check_supports.size() <= 63,
+                "syndrome packing supports up to 63 checks");
+  PTSBE_REQUIRE(num_qubits >= 1 && num_qubits <= 64,
+                "readout packing supports up to 64 qubits");
+  num_checks_ = static_cast<unsigned>(check_supports.size());
+  boundary_ = num_checks_;
+
+  // One edge per detectable qubit: two incident checks → internal edge, one
+  // → boundary edge. More than two means the readout graph is not a
+  // matching problem (e.g. Steane) — refuse rather than decode badly.
+  for (unsigned q = 0; q < num_qubits; ++q) {
+    unsigned found = 0;
+    unsigned checks[2] = {0, 0};
+    for (unsigned j = 0; j < num_checks_; ++j) {
+      if (((check_supports[j] >> q) & 1ULL) == 0) continue;
+      PTSBE_REQUIRE(found < 2,
+                    "union-find needs a matchable code: every qubit in at "
+                    "most two check supports");
+      checks[found++] = j;
+    }
+    if (found == 0) continue;  // undetectable by this basis
+    Edge e;
+    e.a = checks[0];
+    e.b = found == 2 ? checks[1] : boundary_;
+    e.qubit = q;
+    if (e.b == boundary_) has_boundary_edges_ = true;
+    edges_.push_back(e);
+  }
+
+  incident_.assign(num_checks_ + 1, {});
+  for (unsigned e = 0; e < edges_.size(); ++e) {
+    incident_[edges_[e].a].push_back(e);
+    incident_[edges_[e].b].push_back(e);
+  }
+}
+
+const std::string& UnionFindDecoder::name() const noexcept {
+  return kUnionFindName;
+}
+
+std::uint64_t UnionFindDecoder::decode(std::uint64_t syndrome_bits) const {
+  std::uint64_t defects = syndrome_bits & ((1ULL << num_checks_) - 1);
+  if (defects == 0) return 0;
+
+  const unsigned num_nodes = num_checks_ + 1;
+  Clusters dsu(num_nodes);
+  for (unsigned j = 0; j < num_checks_; ++j)
+    dsu.parity[j] = static_cast<std::uint8_t>((defects >> j) & 1ULL);
+  dsu.boundary[boundary_] = 1;
+
+  // Growth: every edge incident to an active cluster (odd defect parity,
+  // no boundary) gains one half-edge per active endpoint each round;
+  // fully-grown edges merge their clusters. Deterministic: fixed edge
+  // order, synchronous rounds.
+  std::vector<std::uint8_t> growth(edges_.size(), 0);
+  auto active = [&](unsigned node) {
+    const unsigned r = dsu.find(node);
+    return dsu.parity[r] != 0 && dsu.boundary[r] == 0;
+  };
+  while (true) {
+    bool any_active = false;
+    for (unsigned j = 0; j < num_checks_ && !any_active; ++j)
+      if (active(j)) any_active = true;
+    if (!any_active) break;
+    bool progressed = false;
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (growth[e] >= 2) continue;
+      unsigned inc = 0;
+      if (active(edges_[e].a)) ++inc;
+      if (active(edges_[e].b)) ++inc;
+      if (inc == 0) continue;
+      growth[e] =
+          static_cast<std::uint8_t>(std::min<unsigned>(2u, growth[e] + inc));
+      progressed = true;
+    }
+    // An odd cluster whose component has no boundary edge can exhaust its
+    // edges; bail instead of spinning (its defect stays unresolved).
+    if (!progressed) break;
+    for (std::size_t e = 0; e < edges_.size(); ++e)
+      if (growth[e] == 2) dsu.unite(edges_[e].a, edges_[e].b);
+  }
+
+  // Spanning forest over fully-grown edges: BFS from the boundary node
+  // first (so boundary-touching components root there and can absorb an
+  // odd leftover defect), then from the lowest-id node of each remaining
+  // component.
+  constexpr unsigned kNoEdge = ~0u;
+  std::vector<std::uint8_t> visited(num_nodes, 0);
+  std::vector<unsigned> parent(num_nodes, 0);
+  std::vector<unsigned> parent_edge(num_nodes, kNoEdge);
+  std::vector<unsigned> order;
+  order.reserve(num_nodes);
+  auto bfs_from = [&](unsigned root) {
+    if (visited[root]) return;
+    visited[root] = 1;
+    const std::size_t first = order.size();
+    order.push_back(root);
+    for (std::size_t i = first; i < order.size(); ++i) {
+      const unsigned v = order[i];
+      for (unsigned e : incident_[v]) {
+        if (growth[e] != 2) continue;
+        const unsigned w = edges_[e].a == v ? edges_[e].b : edges_[e].a;
+        if (visited[w]) continue;
+        visited[w] = 1;
+        parent[w] = v;
+        parent_edge[w] = e;
+        order.push_back(w);
+      }
+    }
+  };
+  bfs_from(boundary_);
+  for (unsigned v = 0; v < num_checks_; ++v) bfs_from(v);
+
+  // Peel leaves-first (reverse BFS order): a defect at a non-root node
+  // flips its tree edge into the correction and pushes the defect onto the
+  // parent; a defect pushed onto the boundary root is absorbed.
+  std::uint64_t correction = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const unsigned v = *it;
+    if (parent_edge[v] == kNoEdge) continue;  // component root
+    if (((defects >> v) & 1ULL) == 0) continue;
+    correction ^= 1ULL << edges_[parent_edge[v]].qubit;
+    defects ^= 1ULL << v;
+    if (parent[v] != boundary_) defects ^= 1ULL << parent[v];
+  }
+  return correction;
+}
+
+}  // namespace ptsbe::qec

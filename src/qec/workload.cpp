@@ -1,0 +1,35 @@
+#include "ptsbe/qec/workload.hpp"
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/io/ptq.hpp"
+
+namespace ptsbe::qec {
+
+NoiseModel make_memory_noise(const MemoryWorkloadConfig& config) {
+  PTSBE_REQUIRE(config.noise >= 0.0 && config.noise <= 1.0,
+                "gate noise strength must be a probability");
+  NoiseModel model;
+  if (config.noise > 0.0)
+    model.add_all_gate_noise(channels::depolarizing(config.noise));
+  const double readout = config.effective_readout_noise();
+  if (readout > 0.0)
+    model.add_measurement_noise(channels::bit_flip(readout));
+  return model;
+}
+
+MemoryWorkload make_memory_workload(const MemoryWorkloadConfig& config) {
+  const CssCode code = make_code(config.code, config.distance);
+  // Product-state preparation, not the unitary encoder: threshold curves
+  // need distance to buy suppression, and the non-fault-tolerant encoder
+  // cascade turns single input-qubit faults into undetectable logical
+  // flips (see PrepStyle).
+  MemoryExperiment experiment = make_memory_experiment(
+      code, config.rounds, config.basis, PrepStyle::kProduct);
+  const NoiseModel noise = make_memory_noise(config);
+  NoisyCircuit noisy = noise.apply(experiment.circuit);
+  return MemoryWorkload{config, std::move(experiment), std::move(noisy)};
+}
+
+std::string MemoryWorkload::to_ptq() const { return io::write_circuit(noisy); }
+
+}  // namespace ptsbe::qec
