@@ -1,0 +1,285 @@
+// Remote serving scale-out: jobs/sec through the full TCP wire path at
+// 1 vs 2 daemon processes' worth of `net::Server`s behind the
+// consistent-hash shard router. The job stream is the serve-throughput
+// tenant population (a handful of distinct `.ptq` circuits, repeated with
+// varying seeds) so the router's plan-cache affinity is load-bearing:
+// every repeat of a circuit lands on the shard holding its ExecPlan, and
+// the per-shard cache hit rates in the JSON prove it.
+//
+// After the timed streams, one job per distinct circuit is re-submitted
+// through the 2-shard fleet and its dataset bytes compared against a
+// standalone Pipeline::run — the bench exits nonzero on any divergence
+// (same convention as bench_parallel_scaling), so the smoke ctest also
+// re-verifies wire-path byte identity.
+//
+// Honesty convention (PR 4): the JSON records hardware_concurrency. On a
+// 1-core container the 2-daemon row collapses to ~1x — the shard spread
+// and per-shard hit rates are then the load-bearing output; expect fleet
+// scaling up to min(total workers, cores) elsewhere.
+//
+//   bench_serve_remote [output.json] [--tiny]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/io/ptq.hpp"
+#include "ptsbe/net/client.hpp"
+#include "ptsbe/net/server.hpp"
+#include "ptsbe/noise/channels.hpp"
+
+namespace {
+
+using namespace ptsbe;
+
+/// Distinct tenant circuits: dressed GHZ chains of slightly different
+/// shapes so each maps to its own plan-cache entry (and its own shard).
+std::string tenant_circuit(unsigned n, unsigned variant) {
+  Circuit c(n);
+  for (unsigned q = 0; q < n; ++q) c.ry(q, 0.1 * (q + 1 + variant));
+  c.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  for (unsigned q = 0; q < n; ++q) c.rz(q, 0.07 * (q + 1 + variant));
+  c.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(0.01));
+  noise.add_measurement_noise(channels::bit_flip(0.005));
+  return io::write_circuit(noise.apply(c));
+}
+
+serve::JobRequest request_for(const std::vector<std::string>& texts,
+                              std::size_t j, std::size_t nsamples,
+                              std::uint64_t nshots) {
+  serve::JobRequest req;
+  req.circuit_text = texts[j % texts.size()];
+  req.tenant = "tenant-" + std::to_string(j % texts.size());
+  req.strategy_config.nsamples = nsamples;
+  req.strategy_config.nshots = nshots;
+  req.seed = 1000 + j;  // distinct seeds: same plan, different work
+  return req;
+}
+
+struct ShardStat {
+  std::uint64_t served = 0;
+  double cache_hit_rate = 0.0;
+};
+
+struct FleetRow {
+  std::size_t daemons = 0;
+  std::size_t jobs = 0;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  std::vector<ShardStat> shards;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Dataset bytes of a run, via the same export path tests pin.
+std::string dataset_bytes(const RunResult& run, const char* tag) {
+  const std::string path =
+      std::string("/tmp/ptsbe_bench_serve_remote_") + tag + ".bin";
+  run.to_binary(path);
+  std::string bytes = slurp(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+/// Push `jobs_total` jobs through a fleet of `daemons` servers from
+/// `client_threads` submitters (each with its own ShardedClient — the
+/// clients are blocking, so a thread is one synchronous caller).
+FleetRow run_fleet(const std::vector<std::string>& texts,
+                   std::size_t jobs_total, std::size_t daemons,
+                   std::size_t client_threads, std::size_t workers_per_daemon,
+                   std::size_t nsamples, std::uint64_t nshots) {
+  net::ServerConfig server_config;
+  server_config.engine.workers = workers_per_daemon;
+  server_config.engine.queue_capacity = jobs_total;  // throughput, not
+                                                     // shedding
+  server_config.engine.plan_cache_capacity = 32;
+  std::vector<std::unique_ptr<net::Server>> fleet;
+  std::vector<std::string> endpoints;
+  for (std::size_t d = 0; d < daemons; ++d) {
+    fleet.push_back(std::make_unique<net::Server>(server_config));
+    endpoints.push_back(fleet.back()->endpoint());
+  }
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(client_threads);
+  for (std::size_t t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      net::ShardedClient client(endpoints);
+      for (std::size_t j = t; j < jobs_total; j += client_threads)
+        (void)client.submit(request_for(texts, j, nsamples, nshots));
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  const double seconds = timer.seconds();
+
+  FleetRow row;
+  row.daemons = daemons;
+  row.jobs = jobs_total;
+  row.seconds = seconds;
+  std::uint64_t served = 0;
+  for (const auto& server : fleet) {
+    const serve::EngineStats stats = server->stats();
+    served += stats.served;
+    row.shards.push_back({stats.served, stats.plan_cache_hit_rate()});
+    server->stop();
+  }
+  row.jobs_per_sec = seconds > 0.0 ? static_cast<double>(served) / seconds : 0.0;
+  if (served != jobs_total)
+    std::fprintf(stderr, "WARNING: fleet served %llu of %zu jobs\n",
+                 static_cast<unsigned long long>(served), jobs_total);
+  return row;
+}
+
+/// One job per distinct circuit through a fresh 2-shard fleet, dataset
+/// bytes compared against a standalone Pipeline::run.
+bool verify_byte_identity(const std::vector<std::string>& texts,
+                          std::size_t workers_per_daemon, std::size_t nsamples,
+                          std::uint64_t nshots) {
+  net::ServerConfig server_config;
+  server_config.engine.workers = workers_per_daemon;
+  net::Server shard_a(server_config);
+  net::Server shard_b(server_config);
+  net::ShardedClient client({shard_a.endpoint(), shard_b.endpoint()});
+
+  bool identical = true;
+  for (std::size_t v = 0; v < texts.size(); ++v) {
+    const serve::JobRequest req = request_for(texts, v, nsamples, nshots);
+    const net::RemoteRun remote = client.submit(req);
+    const RunResult standalone = Pipeline(io::parse_circuit(req.circuit_text))
+                                     .strategy(req.strategy,
+                                               req.strategy_config)
+                                     .backend(req.backend, req.backend_config)
+                                     .seed(req.seed)
+                                     .run();
+    const bool same = dataset_bytes(remote.run, "remote") ==
+                      dataset_bytes(standalone, "local");
+    if (!same)
+      std::fprintf(stderr, "DIVERGED: circuit %zu served over the wire\n", v);
+    identical = identical && same;
+  }
+  shard_a.stop();
+  shard_b.stop();
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_serve_remote.json";
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0)
+      tiny = true;
+    else
+      out = argv[i];
+  }
+
+#ifdef _OPENMP
+  // Measure the wire + service layers, not the kernels' inner parallelism.
+  omp_set_num_threads(1);
+#endif
+
+  std::size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+
+  const unsigned qubits = tiny ? 4 : 12;
+  const std::size_t distinct = 6;  // enough circuits that consistent
+                                   // hashing spreads them over 2 shards
+  const std::size_t jobs_total = tiny ? 12 : 48;
+  const std::size_t client_threads = tiny ? 2 : 4;
+  const std::size_t workers_per_daemon = 2;
+  const std::size_t nsamples = tiny ? 30 : 150;
+  const std::uint64_t nshots = tiny ? 10 : 100;
+
+  std::vector<std::string> texts;
+  for (unsigned v = 0; v < distinct; ++v)
+    texts.push_back(tenant_circuit(qubits, v));
+
+  std::printf("serve remote (%zu jobs over %zu distinct %u-qubit circuits, "
+              "%zu client threads, %zu engine workers/daemon, "
+              "hardware_concurrency=%zu)\n\n",
+              jobs_total, distinct, qubits, client_threads,
+              workers_per_daemon, hardware);
+
+  std::vector<FleetRow> rows;
+  for (const std::size_t daemons : {std::size_t{1}, std::size_t{2}}) {
+    const FleetRow row = run_fleet(texts, jobs_total, daemons, client_threads,
+                                   workers_per_daemon, nsamples, nshots);
+    std::printf("daemons=%zu  %7.3fs  %8.1f jobs/s  shards:", row.daemons,
+                row.seconds, row.jobs_per_sec);
+    for (const ShardStat& s : row.shards)
+      std::printf("  [served %llu, cache hit %.2f]",
+                  static_cast<unsigned long long>(s.served), s.cache_hit_rate);
+    std::printf("\n");
+    rows.push_back(row);
+  }
+
+  const bool identical =
+      verify_byte_identity(texts, workers_per_daemon, nsamples, nshots);
+  std::printf("\nbyte identity vs local Pipeline::run: %s\n",
+              identical ? "identical" : "DIVERGED");
+
+  std::FILE* os = std::fopen(out, "w");
+  if (os == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out);
+    return 1;
+  }
+  std::fprintf(os,
+               "{\n  \"bench\": \"serve_remote\",\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"client_threads\": %zu,\n"
+               "  \"engine_workers_per_daemon\": %zu,\n"
+               "  \"workload\": {\"jobs\": %zu, \"distinct_circuits\": %zu, "
+               "\"qubits\": %u, \"nsamples\": %zu, \"nshots\": %llu},\n"
+               "  \"note\": \"jobs/sec includes TCP framing, admission, .ptq "
+               "parsing, plan-cache lookups and execution; the shard router "
+               "pins each circuit to one daemon, so per-shard cache hit "
+               "rates stay high at 2 daemons; fleet scaling is bounded by "
+               "min(total workers, hardware_concurrency), so expect ~1x on "
+               "a 1-core container\",\n"
+               "  \"fleets\": [\n",
+               hardware, client_threads, workers_per_daemon, jobs_total,
+               distinct, qubits, nsamples,
+               static_cast<unsigned long long>(nshots));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FleetRow& r = rows[i];
+    std::fprintf(os,
+                 "    {\"daemons\": %zu, \"jobs\": %zu, \"seconds\": %.4f, "
+                 "\"jobs_per_sec\": %.2f, \"shards\": [",
+                 r.daemons, r.jobs, r.seconds, r.jobs_per_sec);
+    for (std::size_t s = 0; s < r.shards.size(); ++s)
+      std::fprintf(os,
+                   "{\"shard\": %zu, \"served\": %llu, "
+                   "\"plan_cache_hit_rate\": %.4f}%s",
+                   s, static_cast<unsigned long long>(r.shards[s].served),
+                   r.shards[s].cache_hit_rate,
+                   s + 1 < r.shards.size() ? ", " : "");
+    std::fprintf(os, "]}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(os,
+               "  ],\n  \"byte_identity\": {\"checked_jobs\": %zu, "
+               "\"identical\": %s}\n}\n",
+               distinct, identical ? "true" : "false");
+  std::fclose(os);
+  std::printf("wrote %s\n", out);
+  return identical ? 0 : 1;
+}

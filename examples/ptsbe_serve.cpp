@@ -14,6 +14,8 @@
 //   [cutoff=P] [fuse=0|1]
 // circuit paths are resolved relative to the job file's directory.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,11 +23,20 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ptsbe/serve/engine.hpp"
 
 namespace {
+
+// SIGINT/SIGTERM request a graceful drain: the handler only flips this
+// flag; the submission loop then shuts the engine down (in-flight jobs
+// finish, further submissions are kRejected with RejectReason::kShutdown)
+// and the process exits 0.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
 
 void usage(std::FILE* os, const char* argv0) {
   std::fprintf(os,
@@ -33,7 +44,9 @@ void usage(std::FILE* os, const char* argv0) {
       "  --workers N   concurrent job slots (0 = hardware concurrency) [2]\n"
       "  --queue N     admission queue bound (beyond it: reject) [64]\n"
       "  --cache N     ExecPlan LRU capacity (0 = disable) [32]\n"
-      "  --repeat K    submit the job list K times (cache demo) [1]\n",
+      "  --repeat K    submit the job list K times (cache demo) [1]\n"
+      "  --selftest-signal MS  raise SIGTERM after MS milliseconds\n"
+      "                        (graceful-drain smoke test)\n",
       argv0);
 }
 
@@ -107,6 +120,7 @@ int main(int argc, char** argv) {
   serve::EngineConfig config;
   config.workers = 2;
   std::size_t repeat = 1;
+  long selftest_signal_ms = -1;
   std::string job_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +140,8 @@ int main(int argc, char** argv) {
       config.plan_cache_capacity = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--repeat") {
       repeat = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--selftest-signal") {
+      selftest_signal_ms = std::strtol(value(), nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       reject(argv[0], "unknown option '" + arg + "'");
     } else if (job_path.empty()) {
@@ -155,10 +171,24 @@ int main(int argc, char** argv) {
   }
   if (requests.empty()) reject(argv[0], "job file has no jobs");
 
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   serve::Engine engine(config);
   std::printf("engine: workers=%zu queue=%zu plan-cache=%zu jobs=%zu x%zu\n",
               engine.num_workers(), config.queue_capacity,
               config.plan_cache_capacity, requests.size(), repeat);
+
+  // Drain-path smoke: raise SIGTERM from a thread after a delay so a ctest
+  // run exercises the real handler + drain sequence.
+  std::thread selftest;
+  if (selftest_signal_ms >= 0) {
+    selftest = std::thread([selftest_signal_ms] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(selftest_signal_ms));
+      (void)std::raise(SIGTERM);
+    });
+  }
 
   // Submit everything asynchronously, then wait in submission order. A
   // kRejected handle is the engine's backpressure signal — a well-behaved
@@ -168,10 +198,21 @@ int main(int argc, char** argv) {
   jobs.reserve(requests.size() * repeat);
   std::size_t drain_cursor = 0;
   std::size_t backpressure_retries = 0;
+  bool drained = false;
   const auto submit_throttled = [&](const serve::JobRequest& req) {
+    // A signal turns the remaining submissions into shutdown rejections:
+    // the engine stops admitting (distinct status kShutdown) while every
+    // already-admitted job runs to completion.
+    if (g_shutdown != 0 && !drained) {
+      drained = true;
+      std::printf("signal received: draining in-flight jobs, rejecting new "
+                  "admissions\n");
+      engine.shutdown();
+    }
     while (true) {
       serve::JobHandle handle = engine.submit(req);
       if (handle.status() != serve::JobStatus::kRejected ||
+          handle.reject_reason() == serve::RejectReason::kShutdown ||
           drain_cursor >= jobs.size())
         return handle;
       ++backpressure_retries;
@@ -189,7 +230,13 @@ int main(int argc, char** argv) {
       jobs.push_back(submit_throttled(req));
 
   int failures = 0;
+  std::size_t shutdown_rejected = 0;
   for (serve::JobHandle& job : jobs) {
+    if (job.status() == serve::JobStatus::kRejected &&
+        job.reject_reason() == serve::RejectReason::kShutdown) {
+      ++shutdown_rejected;  // shed by the drain, not a failure
+      continue;
+    }
     try {
       const RunResult& run = job.wait();
       std::printf(
@@ -220,5 +267,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.cancelled),
       static_cast<unsigned long long>(stats.rejected),
       stats.plan_cache_hit_rate(), stats.queue_depth);
+  if (selftest.joinable()) selftest.join();
+  if (drained) {
+    std::printf("drained: %zu admissions rejected with shutdown status, "
+                "exiting cleanly\n", shutdown_rejected);
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file server.hpp
+/// \brief TCP front-end for `serve::Engine` — the in-process half of
+/// `ptsbe_netd`.
+///
+/// One `Server` owns one listening socket, one accept thread, and one
+/// connection thread per client (the patty-daemon shape: a small
+/// dependency-free POSIX service loop fronting an existing engine).
+/// Frames are dispatched synchronously per connection: a SUBMIT is
+/// admitted to the engine, its trajectory batches are streamed back as
+/// BATCH frames straight off the engine worker's `BatchSink` (the
+/// connection thread stays quiet in `JobHandle::wait` meanwhile, so the
+/// socket has exactly one writer at a time), then RESULT + DONE close the
+/// exchange. Served bytes are bit-identical to a local `Pipeline::run`
+/// with the same config — the loopback determinism matrix in
+/// `tests/test_net.cpp` pins this.
+///
+/// Shutdown is graceful by construction: `begin_drain()` flips a flag the
+/// connection threads poll on their receive-timeout ticks, the engine
+/// rejects new admissions with `RejectReason::kShutdown` (surfaced on the
+/// wire as `ERROR shutting-down`), and `stop()` drains every in-flight
+/// job before joining the threads — no truncated result streams.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "ptsbe/net/protocol.hpp"
+#include "ptsbe/serve/engine.hpp"
+
+namespace ptsbe::net {
+
+/// Listener + engine sizing for one daemon process.
+struct ServerConfig {
+  /// Address to bind (IPv4 dotted quad; loopback by default).
+  std::string listen_host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// The engine this server fronts (workers, queue bound, quotas, cache).
+  serve::EngineConfig engine = {};
+  /// Per-frame payload bound; bigger SUBMITs get `ERROR oversize`.
+  std::size_t max_payload = kDefaultMaxPayload;
+  /// Receive-timeout tick (ms) between frames — how often an idle
+  /// connection thread re-checks the drain flag.
+  int idle_poll_ms = 250;
+  /// Bound (ms) a peer may stall *inside* one frame before the
+  /// connection is dropped.
+  int frame_timeout_ms = 30000;
+};
+
+/// The serving loop. Construction binds, listens and starts the accept
+/// thread; `stop()` (also run by the destructor) drains and joins.
+/// Thread-safe: begin_drain/draining/stop/stats may be called from any
+/// thread, including a signal-watcher.
+class Server {
+ public:
+  /// \throws runtime_failure when the address cannot be bound.
+  explicit Server(ServerConfig config = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Port actually bound (resolves config port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// `host:port` string, directly usable as a ShardRouter endpoint.
+  [[nodiscard]] std::string endpoint() const;
+
+  /// Stop admitting: new connections are refused, SUBMITs on existing
+  /// connections get `ERROR shutting-down`, idle connections close at
+  /// their next poll tick. Non-blocking; in-flight jobs keep running
+  /// until stop(). Idempotent.
+  void begin_drain();
+  [[nodiscard]] bool draining() const noexcept;
+
+  /// begin_drain(), then block until every in-flight job has streamed its
+  /// result, and join the accept + connection threads. Idempotent.
+  void stop();
+
+  /// Snapshot of the fronted engine's counters (per-tenant included).
+  [[nodiscard]] serve::EngineStats stats() const { return engine_.stats(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Handle one SUBMIT frame. Returns false when the connection must
+  /// close (peer unreachable mid-stream).
+  bool handle_submit(FdStream& stream, Frame& frame);
+  /// Join finished connection threads (called from the accept loop).
+  void reap_connections(bool join_all);
+
+  ServerConfig config_;
+  serve::Engine engine_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< Self-pipe to interrupt poll() in stop.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;  ///< Serialises stop() callers.
+  bool stopped_ = false;   ///< Guarded by stop_mutex_.
+
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conns_mutex_;
+  std::list<Connection> conns_;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace ptsbe::net

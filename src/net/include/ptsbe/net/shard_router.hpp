@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file shard_router.hpp
+/// \brief Consistent-hash routing of jobs to daemon shards, keyed by the
+/// plan-cache canonical-text fingerprint.
+///
+/// N `ptsbe_netd` processes behave as one service when every client routes
+/// a given circuit to the same shard: that shard's LRU `ExecPlan` cache
+/// then sees every repeat of the circuit (cache affinity), while distinct
+/// circuits spread across the fleet. The router hashes the *plan-cache
+/// key* — canonical `.ptq` text + backend name + BackendConfig — so two
+/// textually different submissions of the same circuit (comments,
+/// whitespace) still land on the same shard, exactly mirroring how
+/// `serve::PlanCache` would coalesce them locally.
+///
+/// Standard consistent-hash ring with virtual nodes: each endpoint is
+/// hashed onto the ring `virtual_nodes` times and a fingerprint routes to
+/// the first node clockwise. Adding or removing one shard remaps only
+/// ~1/N of the keyspace — no full fleet reshuffle on scale-out.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptsbe/serve/engine.hpp"
+
+namespace ptsbe::net {
+
+/// Consistent-hash ring over `host:port` endpoint strings. Not
+/// thread-safe for concurrent mutation; build once, route from anywhere.
+class ShardRouter {
+ public:
+  /// \param virtual_nodes ring points per endpoint (more = smoother key
+  /// distribution at slightly larger ring; 64 keeps the max/min shard
+  /// load ratio under ~1.3 for small fleets).
+  explicit ShardRouter(std::size_t virtual_nodes = 64);
+
+  /// Add a shard endpoint (idempotent). \throws precondition_error when
+  /// `endpoint` is empty.
+  void add_endpoint(const std::string& endpoint);
+  /// Remove a shard endpoint (no-op when absent).
+  void remove_endpoint(const std::string& endpoint);
+
+  /// Endpoint owning `fingerprint`. \throws precondition_error when the
+  /// ring is empty.
+  [[nodiscard]] const std::string& route(std::uint64_t fingerprint) const;
+
+  /// Convenience: route a job directly.
+  [[nodiscard]] const std::string& route(const serve::JobRequest& job) const {
+    return route(fingerprint(job));
+  }
+
+  /// Distinct endpoints currently on the ring (sorted).
+  [[nodiscard]] std::vector<std::string> endpoints() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return endpoint_count_;
+  }
+
+  /// Routing fingerprint of a job: 64-bit hash of its plan-cache key
+  /// (canonical circuit text + backend + config). \throws io::ParseError
+  /// when the circuit text is malformed — route only validated jobs.
+  [[nodiscard]] static std::uint64_t fingerprint(const serve::JobRequest& job);
+
+  /// FNV-1a 64 with an avalanche finaliser — stable across platforms, so
+  /// every client and every daemon agree on shard placement.
+  [[nodiscard]] static std::uint64_t hash64(const std::string& bytes);
+
+ private:
+  std::size_t virtual_nodes_;
+  std::size_t endpoint_count_ = 0;
+  std::map<std::uint64_t, std::string> ring_;
+};
+
+}  // namespace ptsbe::net

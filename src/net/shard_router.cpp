@@ -1,0 +1,93 @@
+#include "ptsbe/net/shard_router.hpp"
+
+#include <algorithm>
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/io/ptq.hpp"
+#include "ptsbe/serve/plan_cache.hpp"
+
+namespace ptsbe::net {
+
+namespace {
+
+/// Ring position of virtual node `index` of `endpoint`.
+std::uint64_t vnode_hash(const std::string& endpoint, std::size_t index) {
+  return ShardRouter::hash64(endpoint + '#' + std::to_string(index));
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  PTSBE_REQUIRE(virtual_nodes > 0, "ShardRouter needs at least 1 vnode");
+}
+
+void ShardRouter::add_endpoint(const std::string& endpoint) {
+  PTSBE_REQUIRE(!endpoint.empty(), "shard endpoint must be non-empty");
+  bool added = false;
+  for (std::size_t i = 0; i < virtual_nodes_; ++i) {
+    // On a (astronomically unlikely) vnode hash collision the earlier
+    // endpoint keeps the slot; the ring stays consistent either way.
+    added |= ring_.emplace(vnode_hash(endpoint, i), endpoint).second;
+  }
+  if (added) ++endpoint_count_;
+}
+
+void ShardRouter::remove_endpoint(const std::string& endpoint) {
+  bool removed = false;
+  for (std::size_t i = 0; i < virtual_nodes_; ++i) {
+    const auto it = ring_.find(vnode_hash(endpoint, i));
+    if (it != ring_.end() && it->second == endpoint) {
+      ring_.erase(it);
+      removed = true;
+    }
+  }
+  if (removed) --endpoint_count_;
+}
+
+const std::string& ShardRouter::route(std::uint64_t fingerprint) const {
+  PTSBE_REQUIRE(!ring_.empty(), "ShardRouter has no endpoints");
+  auto it = ring_.lower_bound(fingerprint);
+  if (it == ring_.end()) it = ring_.begin();  // clockwise wraparound
+  return it->second;
+}
+
+std::vector<std::string> ShardRouter::endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(endpoint_count_);
+  for (const auto& [hash, endpoint] : ring_) {
+    (void)hash;
+    bool seen = false;
+    for (const std::string& e : out) seen |= (e == endpoint);
+    if (!seen) out.push_back(endpoint);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t ShardRouter::fingerprint(const serve::JobRequest& job) {
+  const NoisyCircuit parsed =
+      io::parse_circuit(job.circuit_text, job.source_name);
+  return hash64(serve::plan_cache_key(io::write_circuit(parsed), job.backend,
+                                      job.backend_config));
+}
+
+std::uint64_t ShardRouter::hash64(const std::string& bytes) {
+  // FNV-1a 64...
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // ...plus a murmur-style avalanche: FNV alone clusters short suffix
+  // differences (like "#<vnode>") in the low bits, which would clump
+  // virtual nodes on the ring.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace ptsbe::net

@@ -1,7 +1,9 @@
 #include "ptsbe/serve/engine.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "ptsbe/common/error.hpp"
@@ -12,13 +14,22 @@ namespace ptsbe::serve {
 namespace detail {
 
 /// Monotonic terminal-state counters, shared between the engine and every
-/// job handle so late cancels never reach back into a dead engine.
+/// job handle so late cancels never reach back into a dead engine. The
+/// per-tenant map lives here for the same reason (cancel() must account
+/// its tenant without an engine pointer); it is guarded by its own mutex,
+/// which is always the innermost lock (after engine mutex_ and job mutex).
 struct Counters {
   std::atomic<std::uint64_t> submitted{0};
   std::atomic<std::uint64_t> served{0};
   std::atomic<std::uint64_t> failed{0};
   std::atomic<std::uint64_t> cancelled{0};
   std::atomic<std::uint64_t> rejected{0};
+
+  std::mutex tenants_mutex;
+  std::map<std::string, TenantStats> tenants;
+
+  /// Caller holds tenants_mutex.
+  TenantStats& tenant_locked(const std::string& name) { return tenants[name]; }
 };
 
 /// Shared state behind one JobHandle. Transitions are guarded by `mutex`;
@@ -35,12 +46,15 @@ struct JobState {
   mutable std::mutex mutex;
   mutable std::condition_variable cv;
   JobStatus status = JobStatus::kQueued;
+  RejectReason reject_reason = RejectReason::kNone;
   std::string error;
   RunResult result;
 
-  void finish(JobStatus terminal, std::string message = {}) {
+  void finish(JobStatus terminal, std::string message = {},
+              RejectReason reason = RejectReason::kNone) {
     std::lock_guard lock(mutex);
     status = terminal;
+    reject_reason = reason;
     error = std::move(message);
     cv.notify_all();
   }
@@ -52,6 +66,24 @@ const std::string& to_string(JobStatus status) {
   static const std::string kNames[] = {"queued",    "running",   "done",
                                        "failed",    "cancelled", "rejected"};
   return kNames[static_cast<std::uint8_t>(status)];
+}
+
+const std::string& to_string(Priority priority) {
+  static const std::string kNames[] = {"normal", "high"};
+  return kNames[static_cast<std::uint8_t>(priority)];
+}
+
+Priority priority_from_string(const std::string& name) {
+  if (name == "normal") return Priority::kNormal;
+  if (name == "high") return Priority::kHigh;
+  throw precondition_error("unknown priority '" + name +
+                           "' (expected \"normal\" or \"high\")");
+}
+
+const std::string& to_string(RejectReason reason) {
+  static const std::string kNames[] = {"none", "queue-full", "tenant-quota",
+                                       "shutdown"};
+  return kNames[static_cast<std::uint8_t>(reason)];
 }
 
 // ---------------------------------------------------------------------------
@@ -99,6 +131,11 @@ std::string JobHandle::error() const {
   return state_->error;
 }
 
+RejectReason JobHandle::reject_reason() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->reject_reason;
+}
+
 bool JobHandle::cancel() {
   std::lock_guard lock(state_->mutex);
   if (state_->status != JobStatus::kQueued) return false;
@@ -106,6 +143,15 @@ bool JobHandle::cancel() {
   state_->error = "cancelled before execution";
   state_->cv.notify_all();
   state_->counters->cancelled.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard tenants(state_->counters->tenants_mutex);
+    TenantStats& t =
+        state_->counters->tenant_locked(state_->request.tenant);
+    ++t.cancelled;
+    if (t.queue_depth > 0) --t.queue_depth;
+    // `outstanding` stays until the tombstone leaves the queue (purge or
+    // worker pop) — the slot is still held until then.
+  }
   return true;
 }
 
@@ -116,8 +162,8 @@ bool JobHandle::plan_cache_hit() const { return state_->cache_hit; }
 // ---------------------------------------------------------------------------
 
 Engine::Engine(EngineConfig config)
-    : config_(config),
-      plan_cache_(config.plan_cache_capacity),
+    : config_(std::move(config)),
+      plan_cache_(config_.plan_cache_capacity),
       counters_(std::make_shared<detail::Counters>()) {
   PTSBE_REQUIRE(config_.queue_capacity >= 1,
                 "engine queue capacity must be at least 1");
@@ -143,34 +189,76 @@ void Engine::shutdown() {
     if (t.joinable()) t.join();
 }
 
+bool Engine::draining() const {
+  std::lock_guard lock(mutex_);
+  return stopping_;
+}
+
+std::size_t Engine::quota_for(const std::string& tenant) const {
+  const auto it = config_.tenant_quota_overrides.find(tenant);
+  return it != config_.tenant_quota_overrides.end() ? it->second
+                                                    : config_.tenant_quota;
+}
+
 JobHandle Engine::submit(JobRequest request) {
   counters_->submitted.fetch_add(1, std::memory_order_relaxed);
   auto job = std::make_shared<detail::JobState>();
   job->counters = counters_;
-  // Admission pre-check: when the engine is stopping or the queue is
-  // already full, reject *before* parsing/planning — backpressure must
-  // shed the expensive work too, and a doomed request must not evict live
-  // plan-cache entries. (Re-checked at enqueue below: concurrent submits
-  // that both pass here can still race the last slot.)
+  job->request = std::move(request);
+  JobRequest& req = job->request;
+
+  // Shared rejection path: counts globally and per tenant, then finishes
+  // the job with the distinct reason a client can react to.
+  const auto reject = [&](RejectReason reason,
+                          const std::string& message) -> JobHandle {
+    counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard tenants(counters_->tenants_mutex);
+      ++counters_->tenant_locked(req.tenant).rejected;
+    }
+    job->finish(JobStatus::kRejected, message, reason);
+    return JobHandle(job);
+  };
+  const auto fail = [&](const std::string& message) -> JobHandle {
+    counters_->failed.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard tenants(counters_->tenants_mutex);
+      ++counters_->tenant_locked(req.tenant).failed;
+    }
+    job->finish(JobStatus::kFailed, message);
+    return JobHandle(job);
+  };
+
+  // Admission pre-check: when the engine is stopping, the queue is already
+  // full or the tenant is over quota, reject *before* parsing/planning —
+  // backpressure must shed the expensive work too, and a doomed request
+  // must not evict live plan-cache entries. (Re-checked at enqueue below:
+  // concurrent submits that both pass here can still race the last slot.)
   {
     std::lock_guard lock(mutex_);
     job->id = next_id_++;
     purge_cancelled_locked();
-    if (stopping_) {
-      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
-      job->finish(JobStatus::kRejected, "engine is shutting down");
-      return JobHandle(job);
-    }
-    if (queue_.size() >= config_.queue_capacity) {
-      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
-      job->finish(JobStatus::kRejected,
-                  "admission queue full (" +
-                      std::to_string(config_.queue_capacity) + " jobs)");
-      return JobHandle(job);
+    if (stopping_)
+      return reject(RejectReason::kShutdown, "engine is shutting down");
+    if (queued_locked() >= config_.queue_capacity)
+      return reject(RejectReason::kQueueFull,
+                    "admission queue full (" +
+                        std::to_string(config_.queue_capacity) + " jobs)");
+    const std::size_t quota = quota_for(req.tenant);
+    if (quota > 0) {
+      bool over_quota;
+      {
+        // reject() locks tenants_mutex itself, so the check must not still
+        // hold it when rejecting.
+        std::lock_guard tenants(counters_->tenants_mutex);
+        over_quota = counters_->tenant_locked(req.tenant).outstanding >= quota;
+      }
+      if (over_quota)
+        return reject(RejectReason::kTenantQuota,
+                      "tenant '" + req.tenant + "' quota exhausted (" +
+                          std::to_string(quota) + " outstanding jobs)");
     }
   }
-  job->request = std::move(request);
-  JobRequest& req = job->request;
   // Clamp tenant-controlled intra-job parallelism: "threads" feeds
   // TrajectoryExecutor's pool size verbatim (0 already means hardware
   // concurrency, and records are bit-identical at every value, so the
@@ -209,29 +297,46 @@ JobHandle Engine::submit(JobRequest request) {
       }
     }
   } catch (const std::exception& e) {
-    counters_->failed.fetch_add(1, std::memory_order_relaxed);
-    job->finish(JobStatus::kFailed, e.what());
-    return JobHandle(job);
+    return fail(e.what());
   }
 
-  // FIFO admission with a hard bound: a full queue (or a stopping engine)
-  // rejects with status — visible backpressure instead of hidden buffering.
+  // FIFO admission (within each priority lane) with a hard shared bound: a
+  // full queue, an exhausted tenant quota or a stopping engine rejects with
+  // status — visible backpressure instead of hidden buffering.
   {
     std::lock_guard lock(mutex_);
     purge_cancelled_locked();
-    if (stopping_) {
-      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
-      job->finish(JobStatus::kRejected, "engine is shutting down");
-      return JobHandle(job);
+    if (stopping_)
+      return reject(RejectReason::kShutdown, "engine is shutting down");
+    if (queued_locked() >= config_.queue_capacity)
+      return reject(RejectReason::kQueueFull,
+                    "admission queue full (" +
+                        std::to_string(config_.queue_capacity) + " jobs)");
+    const std::size_t quota = quota_for(req.tenant);
+    bool over_quota = false;
+    {
+      // Quota check and admission accounting are one atomic step, so two
+      // racing submits can never both slip under the same quota. The
+      // reject itself happens after the guard drops — reject() locks
+      // tenants_mutex too.
+      std::lock_guard tenants(counters_->tenants_mutex);
+      TenantStats& t = counters_->tenant_locked(req.tenant);
+      if (quota > 0 && t.outstanding >= quota) {
+        over_quota = true;
+      } else {
+        ++t.admitted;
+        ++t.outstanding;
+        ++t.queue_depth;
+        if (t.queue_depth > t.queue_high_water)
+          t.queue_high_water = t.queue_depth;
+      }
     }
-    if (queue_.size() >= config_.queue_capacity) {
-      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
-      job->finish(JobStatus::kRejected,
-                  "admission queue full (" +
-                      std::to_string(config_.queue_capacity) + " jobs)");
-      return JobHandle(job);
-    }
-    queue_.push_back(job);
+    if (over_quota)
+      return reject(RejectReason::kTenantQuota,
+                    "tenant '" + req.tenant + "' quota exhausted (" +
+                        std::to_string(quota) + " outstanding jobs)");
+    (req.priority == Priority::kHigh ? queue_high_ : queue_normal_)
+        .push_back(job);
   }
   if (!cache_insert_key.empty())
     plan_cache_.insert(cache_insert_key, job->plan);
@@ -241,14 +346,28 @@ JobHandle Engine::submit(JobRequest request) {
 
 void Engine::purge_cancelled_locked() {
   // Cancelled jobs are tombstones: cancel() (which holds only the job
-  // mutex — handles must outlive engines) cannot touch queue_, so the
+  // mutex — handles must outlive engines) cannot touch the lanes, so the
   // admission checks sweep them out here. Lock order is engine mutex_ →
-  // job mutex, consistent with every other path, and the queue is
+  // job mutex, consistent with every other path, and the lanes are
   // capacity-bounded so the sweep is O(queue_capacity).
-  std::erase_if(queue_, [](const std::shared_ptr<detail::JobState>& job) {
-    std::lock_guard job_lock(job->mutex);
-    return job->status == JobStatus::kCancelled;
-  });
+  std::vector<std::string> freed;  // tenants whose slots were reclaimed
+  const auto sweep = [&](std::deque<std::shared_ptr<detail::JobState>>& lane) {
+    std::erase_if(lane, [&](const std::shared_ptr<detail::JobState>& job) {
+      std::lock_guard job_lock(job->mutex);
+      if (job->status != JobStatus::kCancelled) return false;
+      freed.push_back(job->request.tenant);
+      return true;
+    });
+  };
+  sweep(queue_high_);
+  sweep(queue_normal_);
+  if (!freed.empty()) {
+    std::lock_guard tenants(counters_->tenants_mutex);
+    for (const std::string& tenant : freed) {
+      TenantStats& t = counters_->tenant_locked(tenant);
+      if (t.outstanding > 0) --t.outstanding;
+    }
+  }
 }
 
 void Engine::worker_loop() {
@@ -256,21 +375,47 @@ void Engine::worker_loop() {
     std::shared_ptr<detail::JobState> job;
     {
       std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return stopping_ || queued_locked() > 0; });
+      if (queued_locked() == 0) return;  // stopping_ and drained
+      // High lane first: priority reorders dispatch, never admission.
+      std::deque<std::shared_ptr<detail::JobState>>& lane =
+          queue_high_.empty() ? queue_normal_ : queue_high_;
+      job = std::move(lane.front());
+      lane.pop_front();
     }
     execute(job);
   }
 }
 
 void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
+  const std::string& tenant = job->request.tenant;
   {
     std::lock_guard lock(job->mutex);
-    if (job->status != JobStatus::kQueued) return;  // cancelled while queued
+    if (job->status != JobStatus::kQueued) {
+      // Cancelled while queued: the tombstone leaves the queue here, so
+      // the tenant's admission slot is released now.
+      std::lock_guard tenants(counters_->tenants_mutex);
+      TenantStats& t = counters_->tenant_locked(tenant);
+      if (t.outstanding > 0) --t.outstanding;
+      return;
+    }
     job->status = JobStatus::kRunning;
   }
+  {
+    std::lock_guard tenants(counters_->tenants_mutex);
+    TenantStats& t = counters_->tenant_locked(tenant);
+    if (t.queue_depth > 0) --t.queue_depth;
+  }
+  // Releases the tenant's outstanding slot and records the terminal state.
+  const auto account_terminal = [&](bool done) {
+    std::lock_guard tenants(counters_->tenants_mutex);
+    TenantStats& t = counters_->tenant_locked(tenant);
+    if (done)
+      ++t.completed;
+    else
+      ++t.failed;
+    if (t.outstanding > 0) --t.outstanding;
+  };
   try {
     const JobRequest& req = job->request;
     // The Pipeline facade is the single definition of the seeding
@@ -283,10 +428,28 @@ void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
         .threads(req.threads)
         .seed(req.seed)
         .cached_plan(job->plan);
-    RunResult run = pipeline.run();
+    RunResult run;
+    if (req.stream_sink) {
+      // Streaming delivery: batches go to the tenant's sink from this
+      // worker thread as they complete; the stored RunResult carries the
+      // metadata a client needs to reassemble/estimate, not the records.
+      run.weighting = pipeline.weighting();
+      run.strategy = req.strategy;
+      run.backend = req.backend;
+      run.schedule_requested = req.schedule;
+      const be::StreamSummary summary = pipeline.run_streaming(req.stream_sink);
+      run.schedule_executed = summary.schedule;
+      run.num_specs = summary.num_batches;
+      run.result.schedule = summary.schedule;
+      run.result.prepare_seconds = summary.prepare_seconds;
+      run.result.sample_seconds = summary.sample_seconds;
+    } else {
+      run = pipeline.run();
+    }
     // Count before notifying: a waiter reading stats() right after wait()
     // returns must already see this job as served.
     counters_->served.fetch_add(1, std::memory_order_relaxed);
+    account_terminal(/*done=*/true);
     {
       std::lock_guard lock(job->mutex);
       job->result = std::move(run);
@@ -295,6 +458,7 @@ void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
     }
   } catch (const std::exception& e) {
     counters_->failed.fetch_add(1, std::memory_order_relaxed);
+    account_terminal(/*done=*/false);
     job->finish(JobStatus::kFailed, e.what());
   }
 }
@@ -312,12 +476,74 @@ EngineStats Engine::stats() const {
     std::lock_guard lock(mutex_);
     // Count live queued jobs only: cancelled tombstones awaiting their
     // purge must not read as backlog to a monitoring client.
-    for (const std::shared_ptr<detail::JobState>& job : queue_) {
-      std::lock_guard job_lock(job->mutex);
-      if (job->status == JobStatus::kQueued) ++out.queue_depth;
-    }
+    for (const auto* lane : {&queue_high_, &queue_normal_})
+      for (const std::shared_ptr<detail::JobState>& job : *lane) {
+        std::lock_guard job_lock(job->mutex);
+        if (job->status == JobStatus::kQueued) ++out.queue_depth;
+      }
+  }
+  {
+    std::lock_guard tenants(counters_->tenants_mutex);
+    out.tenants = counters_->tenants;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stats JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control characters) —
+/// tenant labels are client-asserted text and must not break the document.
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string stats_to_json(const EngineStats& stats) {
+  std::ostringstream os;
+  os << "{\"submitted\": " << stats.submitted << ", \"served\": " << stats.served
+     << ", \"failed\": " << stats.failed << ", \"cancelled\": " << stats.cancelled
+     << ", \"rejected\": " << stats.rejected
+     << ", \"plan_cache_hits\": " << stats.plan_cache_hits
+     << ", \"plan_cache_misses\": " << stats.plan_cache_misses
+     << ", \"plan_cache_hit_rate\": " << stats.plan_cache_hit_rate()
+     << ", \"queue_depth\": " << stats.queue_depth << ", \"tenants\": {";
+  bool first = true;
+  for (const auto& [name, t] : stats.tenants) {
+    if (!first) os << ", ";
+    first = false;
+    append_json_string(os, name);
+    os << ": {\"admitted\": " << t.admitted << ", \"rejected\": " << t.rejected
+       << ", \"completed\": " << t.completed << ", \"failed\": " << t.failed
+       << ", \"cancelled\": " << t.cancelled
+       << ", \"queue_depth\": " << t.queue_depth
+       << ", \"queue_high_water\": " << t.queue_high_water
+       << ", \"outstanding\": " << t.outstanding << '}';
+  }
+  os << "}}";
+  return os.str();
 }
 
 }  // namespace ptsbe::serve

@@ -42,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +53,19 @@
 #include "ptsbe/serve/plan_cache.hpp"
 
 namespace ptsbe::serve {
+
+/// Admission lane of a job. The engine drains the high lane first (FIFO
+/// within each lane); both lanes share one admission capacity, so priority
+/// reorders the queue but never grows it.
+enum class Priority : std::uint8_t {
+  kNormal = 0,  ///< Default lane.
+  kHigh = 1,    ///< Drained before every normal-lane job.
+};
+
+/// Registry-style name for a priority ("normal" | "high").
+[[nodiscard]] const std::string& to_string(Priority priority);
+/// \throws precondition_error for unknown names (the message lists both).
+[[nodiscard]] Priority priority_from_string(const std::string& name);
 
 /// One unit of tenant work: a circuit as data plus the full pipeline
 /// configuration, all registry-named. Invalid requests (malformed `.ptq`,
@@ -78,6 +92,23 @@ struct JobRequest {
   std::size_t threads = 1;
   /// Master seed; with everything above it pins the job's records exactly.
   std::uint64_t seed = 0x5EEDBA5EDULL;
+  /// Tenant this job is accounted to: per-tenant quotas, counters and the
+  /// queue-depth high-water mark are keyed by this label. The label is
+  /// client-asserted (authentication is out of scope at this layer).
+  std::string tenant = "anonymous";
+  /// Admission lane (see Priority). Both lanes share the engine's bounded
+  /// queue; high-priority jobs are dispatched first.
+  Priority priority = Priority::kNormal;
+  /// Optional streaming delivery: when set, the engine worker executes the
+  /// job through `Pipeline::run_streaming` and invokes this sink — on the
+  /// worker's thread, one batch at a time, in completion order — instead of
+  /// materialising batches into the job's RunResult (which then carries
+  /// metadata only: weighting, names, schedules, num_specs). Batches are
+  /// bit-identical to the materialised path; only the delivery order can
+  /// differ (recover spec order via TrajectoryBatch::spec_index). An
+  /// exception thrown by the sink fails the job (kFailed). This is the
+  /// `ptsbe::net` result-frame hook.
+  be::BatchSink stream_sink;
 };
 
 /// Lifecycle of a submitted job. Terminal states: kDone, kFailed,
@@ -94,6 +125,21 @@ enum class JobStatus : std::uint8_t {
 /// Registry-style name for a status ("queued", "running", "done",
 /// "failed", "cancelled", "rejected").
 [[nodiscard]] const std::string& to_string(JobStatus status);
+
+/// Why a kRejected job was refused — the distinct-status signal a client
+/// (and the `ptsbe::net` wire protocol) can react to: back off on
+/// kQueueFull, shed this tenant's load on kTenantQuota, fail over to
+/// another shard on kShutdown.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,     ///< Not rejected.
+  kQueueFull,    ///< Bounded FIFO at capacity (backpressure).
+  kTenantQuota,  ///< The tenant's outstanding-job quota is exhausted.
+  kShutdown,     ///< Engine is draining; no new admissions.
+};
+
+/// Registry-style name for a reason ("none", "queue-full", "tenant-quota",
+/// "shutdown").
+[[nodiscard]] const std::string& to_string(RejectReason reason);
 
 namespace detail {
 struct JobState;
@@ -125,6 +171,9 @@ class JobHandle {
   /// Diagnostic for kFailed/kRejected jobs; empty otherwise.
   [[nodiscard]] std::string error() const;
 
+  /// Why a kRejected job was refused (kNone for every other status).
+  [[nodiscard]] RejectReason reject_reason() const;
+
   /// Request cancellation. Only a still-queued job can be cancelled (a
   /// running job completes normally — trajectory execution is not
   /// interruptible mid-flight). Returns true when this call moved the job
@@ -154,6 +203,28 @@ struct EngineConfig {
   /// 0 disables caching. Plans are shared immutable objects, so a cached
   /// plan can serve many concurrent jobs at once.
   std::size_t plan_cache_capacity = 32;
+  /// Default per-tenant quota: the maximum number of *outstanding* jobs
+  /// (admitted and not yet terminal — queued or running) any one tenant may
+  /// hold. A submit beyond it is kRejected with RejectReason::kTenantQuota.
+  /// 0 = unlimited. One tenant can therefore never occupy the whole bounded
+  /// queue — the fairness half of admission control.
+  std::size_t tenant_quota = 0;
+  /// Per-tenant overrides of `tenant_quota` (0 = unlimited for that
+  /// tenant). Tenants not listed use the default.
+  std::map<std::string, std::size_t> tenant_quota_overrides = {};
+};
+
+/// Per-tenant service counters (monotonic except queue_depth /
+/// outstanding, which are instantaneous).
+struct TenantStats {
+  std::uint64_t admitted = 0;   ///< Jobs that entered the queue.
+  std::uint64_t rejected = 0;   ///< Admission refusals (any reason).
+  std::uint64_t completed = 0;  ///< Jobs finished kDone.
+  std::uint64_t failed = 0;     ///< Invalid requests + execution errors.
+  std::uint64_t cancelled = 0;  ///< Cancelled while queued.
+  std::size_t queue_depth = 0;  ///< Jobs admitted but not yet running.
+  std::size_t queue_high_water = 0;  ///< Max queue_depth ever observed.
+  std::size_t outstanding = 0;  ///< Queued + running (what quotas bound).
 };
 
 /// Aggregate service counters (monotonic since construction except
@@ -167,6 +238,9 @@ struct EngineStats {
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
   std::size_t queue_depth = 0;   ///< Jobs admitted but not yet running.
+  /// Per-tenant breakdown, keyed by JobRequest::tenant (ordered so JSON
+  /// emission is deterministic).
+  std::map<std::string, TenantStats> tenants;
 
   /// Hits over lookups (0 when no lookups happened).
   [[nodiscard]] double plan_cache_hit_rate() const noexcept {
@@ -176,6 +250,12 @@ struct EngineStats {
                               static_cast<double>(lookups);
   }
 };
+
+/// Serialise stats as one JSON object (aggregate counters plus a "tenants"
+/// object keyed by tenant label) — what the `ptsbe_netd` STATS frame
+/// replies with. Tenant labels are JSON-escaped; output is deterministic
+/// (tenants in lexicographic order).
+[[nodiscard]] std::string stats_to_json(const EngineStats& stats);
 
 /// The multi-tenant service engine. Construction starts the worker pool;
 /// destruction drains it: already-admitted jobs finish, new submissions
@@ -208,19 +288,32 @@ class Engine {
     return workers_.size();
   }
 
+  /// True once shutdown() began: new submissions are kRejected with
+  /// RejectReason::kShutdown while admitted jobs drain.
+  [[nodiscard]] bool draining() const;
+
  private:
   void worker_loop();
   void execute(const std::shared_ptr<detail::JobState>& job);
-  /// Drop cancelled (tombstone) jobs from the queue so they stop counting
+  /// Drop cancelled (tombstone) jobs from both lanes so they stop counting
   /// against admission capacity. Caller holds mutex_.
   void purge_cancelled_locked();
+  /// Queued jobs across both lanes. Caller holds mutex_.
+  [[nodiscard]] std::size_t queued_locked() const noexcept {
+    return queue_high_.size() + queue_normal_.size();
+  }
+  /// Effective outstanding-job quota for `tenant` (0 = unlimited).
+  [[nodiscard]] std::size_t quota_for(const std::string& tenant) const;
 
   EngineConfig config_;
   PlanCache plan_cache_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< Workers sleep here.
-  std::deque<std::shared_ptr<detail::JobState>> queue_;
+  /// Two admission lanes sharing one capacity bound; workers drain
+  /// queue_high_ first, FIFO within each lane.
+  std::deque<std::shared_ptr<detail::JobState>> queue_high_;
+  std::deque<std::shared_ptr<detail::JobState>> queue_normal_;
   bool stopping_ = false;
   std::uint64_t next_id_ = 0;
 

@@ -294,6 +294,161 @@ TEST(ServeEngine, CacheDisabledStillServes) {
 }
 
 // ---------------------------------------------------------------------------
+// QoS: priority lanes, tenant quotas, per-tenant counters. A heavy job pins
+// the single worker so lane and quota state below is deterministic.
+// ---------------------------------------------------------------------------
+
+TEST(ServeQoS, PriorityNamesRoundTrip) {
+  EXPECT_EQ(serve::to_string(serve::Priority::kNormal), "normal");
+  EXPECT_EQ(serve::to_string(serve::Priority::kHigh), "high");
+  EXPECT_EQ(serve::priority_from_string("high"), serve::Priority::kHigh);
+  EXPECT_THROW((void)serve::priority_from_string("urgent"),
+               precondition_error);
+  EXPECT_EQ(serve::to_string(serve::RejectReason::kTenantQuota),
+            "tenant-quota");
+}
+
+TEST(ServeQoS, HighLaneDrainsBeforeNormalLane) {
+  serve::Engine engine({.workers = 1, .queue_capacity = 8});
+  serve::JobHandle pin = engine.submit(heavy_request());
+  while (pin.status() == serve::JobStatus::kQueued) std::this_thread::yield();
+
+  // With the worker pinned, queue three jobs: normal, normal, high. The
+  // worker must pop the high lane first, FIFO within each lane. Start
+  // order is observed through each job's stream sink (invoked on the
+  // worker thread as execution begins to produce batches).
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto tagged = [&](const char* tag, serve::Priority priority) {
+    serve::JobRequest req = ghz_request(3);
+    req.priority = priority;
+    bool first = true;
+    req.stream_sink = [&order, &order_mutex, tag,
+                       first](const be::TrajectoryBatch&) mutable {
+      if (first) {
+        first = false;
+        const std::lock_guard<std::mutex> hold(order_mutex);
+        order.emplace_back(tag);
+      }
+    };
+    return engine.submit(req);
+  };
+  serve::JobHandle normal_a = tagged("normal-a", serve::Priority::kNormal);
+  serve::JobHandle normal_b = tagged("normal-b", serve::Priority::kNormal);
+  serve::JobHandle high_c = tagged("high-c", serve::Priority::kHigh);
+
+  (void)pin.wait();
+  (void)normal_a.wait();
+  (void)normal_b.wait();
+  (void)high_c.wait();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "high-c");  // jumped both queued normal jobs
+  EXPECT_EQ(order[1], "normal-a");
+  EXPECT_EQ(order[2], "normal-b");
+}
+
+TEST(ServeQoS, TenantQuotaBoundsOutstandingJobs) {
+  serve::EngineConfig config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.tenant_quota = 1;
+  config.tenant_quota_overrides["carol"] = 2;
+  config.tenant_quota_overrides["dave"] = 0;  // explicit unlimited
+  serve::Engine engine(config);
+
+  serve::JobRequest pin_req = heavy_request();
+  pin_req.tenant = "pinner";
+  serve::JobHandle pin = engine.submit(pin_req);
+  while (pin.status() == serve::JobStatus::kQueued) std::this_thread::yield();
+
+  const auto submit_as = [&](const char* tenant) {
+    serve::JobRequest req = ghz_request(3);
+    req.tenant = tenant;
+    return engine.submit(req);
+  };
+
+  // Default quota 1: alice's second *outstanding* job is refused with the
+  // distinct quota reason, while the queue itself still has room.
+  serve::JobHandle alice_1 = submit_as("alice");
+  EXPECT_EQ(alice_1.status(), serve::JobStatus::kQueued);
+  serve::JobHandle alice_2 = submit_as("alice");
+  EXPECT_EQ(alice_2.status(), serve::JobStatus::kRejected);
+  EXPECT_EQ(alice_2.reject_reason(), serve::RejectReason::kTenantQuota);
+  EXPECT_NE(alice_2.error().find("quota"), std::string::npos);
+
+  // One tenant at quota never affects another.
+  serve::JobHandle bob_1 = submit_as("bob");
+  EXPECT_EQ(bob_1.status(), serve::JobStatus::kQueued);
+
+  // Overrides win over the default; 0 means unlimited.
+  serve::JobHandle carol_1 = submit_as("carol");
+  serve::JobHandle carol_2 = submit_as("carol");
+  EXPECT_EQ(carol_2.status(), serve::JobStatus::kQueued);
+  serve::JobHandle carol_3 = submit_as("carol");
+  EXPECT_EQ(carol_3.reject_reason(), serve::RejectReason::kTenantQuota);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(submit_as("dave").status(), serve::JobStatus::kQueued);
+  }
+
+  (void)pin.wait();
+  (void)alice_1.wait();
+  (void)bob_1.wait();
+  (void)carol_1.wait();
+  (void)carol_2.wait();
+
+  // Quota counts *outstanding* jobs, not lifetime jobs: with her first job
+  // done, alice may submit again.
+  serve::JobHandle alice_3 = submit_as("alice");
+  EXPECT_NE(alice_3.status(), serve::JobStatus::kRejected);
+  (void)alice_3.wait();
+
+  const serve::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.tenants.at("alice").admitted, 2u);
+  EXPECT_EQ(stats.tenants.at("alice").rejected, 1u);
+  EXPECT_EQ(stats.tenants.at("alice").completed, 2u);
+  EXPECT_EQ(stats.tenants.at("alice").outstanding, 0u);
+  EXPECT_EQ(stats.tenants.at("carol").rejected, 1u);
+  EXPECT_EQ(stats.tenants.at("dave").admitted, 4u);
+  EXPECT_GE(stats.tenants.at("alice").queue_high_water, 1u);
+}
+
+TEST(ServeQoS, RejectReasonsAreDistinct) {
+  serve::Engine engine({.workers = 1, .queue_capacity = 1});
+  serve::JobHandle pin = engine.submit(heavy_request());
+  while (pin.status() == serve::JobStatus::kQueued) std::this_thread::yield();
+  EXPECT_EQ(pin.reject_reason(), serve::RejectReason::kNone);
+
+  serve::JobHandle queued = engine.submit(ghz_request());
+  serve::JobHandle full = engine.submit(ghz_request());
+  EXPECT_EQ(full.reject_reason(), serve::RejectReason::kQueueFull);
+
+  (void)pin.wait();
+  (void)queued.wait();
+  engine.shutdown();
+  serve::JobHandle late = engine.submit(ghz_request());
+  EXPECT_EQ(late.reject_reason(), serve::RejectReason::kShutdown);
+}
+
+TEST(ServeQoS, StatsJsonIsDeterministicAndEscaped) {
+  serve::EngineStats stats;
+  stats.submitted = 3;
+  stats.served = 2;
+  serve::TenantStats weird;
+  weird.admitted = 2;
+  weird.queue_high_water = 1;
+  stats.tenants["we\"ird\\tenant"] = weird;
+  stats.tenants["alice"] = serve::TenantStats{};
+  const std::string json = serve::stats_to_json(stats);
+  EXPECT_NE(json.find("\"submitted\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tenants\": {\"alice\": {"), std::string::npos)
+      << json;  // lexicographic tenant order
+  EXPECT_NE(json.find("\"we\\\"ird\\\\tenant\": {\"admitted\": 2,"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"queue_high_water\": 1"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
 // The determinism contract: served == standalone, bit for bit, for every
 // strategy × backend × schedule × threads cell — submitted concurrently so
 // jobs genuinely contend for the worker pool and the plan cache.
