@@ -9,8 +9,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
 namespace ptsbe::net {
@@ -242,10 +244,18 @@ Client& ShardedClient::shard(const std::string& endpoint) {
   const std::size_t colon = endpoint.rfind(':');
   PTSBE_REQUIRE(colon != std::string::npos && colon + 1 < endpoint.size(),
                 "endpoint must be host:port, got '" + endpoint + "'");
+  const std::string_view port_tok =
+      std::string_view(endpoint).substr(colon + 1);
+  unsigned port = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_tok.data(), port_tok.data() + port_tok.size(), port);
+  PTSBE_REQUIRE(ec == std::errc{} && ptr == port_tok.data() + port_tok.size() &&
+                    port >= 1 && port <= 65535,
+                "endpoint port must be a number in [1, 65535], got '" +
+                    endpoint + "'");
   ClientConfig config = base_;
   config.host = endpoint.substr(0, colon);
-  config.port =
-      static_cast<std::uint16_t>(std::stoul(endpoint.substr(colon + 1)));
+  config.port = static_cast<std::uint16_t>(port);
   return clients_.emplace(endpoint, Client(std::move(config))).first->second;
 }
 

@@ -190,16 +190,22 @@ FdStream::ReadStatus FdStream::read_frame(Frame& out) {
   bool deadline_armed = false;
 
   const auto pending = [&] { return buf_.size() - pos_; };
-  const auto pump = [&](const char* stage) {
+  // `mid_frame` marks the payload stage: the header is consumed, so even
+  // zero buffered bytes means the peer owes us data — EOF is a protocol
+  // error and the frame deadline arms on the first timeout tick. Only the
+  // header stage with nothing buffered counts as a frame boundary.
+  const auto pump = [&](const char* stage, bool mid_frame) {
     bool timed_out = false;
     if (!fill(timed_out)) {
-      if (pending() == 0) return false;  // clean EOF at a frame boundary
+      if (!mid_frame && pending() == 0) {
+        return false;  // clean EOF at a frame boundary
+      }
       throw ProtocolError(errc::kProtocol,
                           std::string("connection closed mid-frame (") +
                               stage + ")");
     }
     if (timed_out) {
-      if (pending() == 0) return true;  // idle between frames
+      if (!mid_frame && pending() == 0) return true;  // idle between frames
       if (!deadline_armed) {
         deadline_armed = true;
         deadline = clock::now() + std::chrono::milliseconds(frame_timeout_ms_);
@@ -232,7 +238,7 @@ FdStream::ReadStatus FdStream::read_frame(Frame& out) {
                                                " bytes");
     }
     const bool had_partial = pending() > 0;
-    if (!pump("header")) return ReadStatus::kEof;
+    if (!pump("header", /*mid_frame=*/false)) return ReadStatus::kEof;
     if (!had_partial && pending() == 0) return ReadStatus::kIdle;
   }
   if (eol - pos_ + 1 > kMaxHeaderBytes) {
@@ -279,9 +285,11 @@ FdStream::ReadStatus FdStream::read_frame(Frame& out) {
                   std::make_move_iterator(tokens.end() - 1));
   pos_ = eol + 1;
 
-  // 3. Payload.
+  // 3. Payload. The header is consumed, so the peer owes `payload_len`
+  // bytes: a stall here — even before the first payload byte — is bounded
+  // by the frame deadline, and EOF is a mid-frame protocol error.
   while (pending() < payload_len) {
-    if (!pump("payload")) return ReadStatus::kEof;  // unreachable: pump throws
+    (void)pump("payload", /*mid_frame=*/true);  // throws on EOF and stalls
   }
   out.payload.assign(buf_, pos_, payload_len);
   pos_ += payload_len;
@@ -373,6 +381,18 @@ be::TrajectoryBatch decode_batch(std::string_view bytes) {
 // SUBMIT payload codec
 
 std::string encode_submit_payload(const serve::JobRequest& job) {
+  // A newline inside a key=value field would inject extra config lines
+  // into the payload (mirrors the tenant-label check in Client::submit).
+  const auto reject_newlines = [](const char* key, const std::string& value) {
+    if (value.find('\n') != std::string::npos) {
+      throw ProtocolError(errc::kParse, std::string("job field '") + key +
+                                            "' must not contain newlines");
+    }
+  };
+  reject_newlines("source", job.source_name);
+  reject_newlines("strategy", job.strategy);
+  reject_newlines("backend", job.backend);
+
   std::string out;
   if (!job.source_name.empty()) put_kv(out, "source", job.source_name);
   put_kv(out, "strategy", job.strategy);

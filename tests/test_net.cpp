@@ -195,6 +195,20 @@ TEST(NetProtocol, SubmitPayloadRejectsMalformedConfig) {
   EXPECT_EQ(code_of("fuse=2\ncircuit\nptq 1\n"), net::errc::kParse);
 }
 
+TEST(NetProtocol, SubmitEncodeRejectsNewlinesInStringFields) {
+  // A '\n' inside a string field would inject extra key=value lines into
+  // the SUBMIT payload — rejected at encode time, like the tenant label.
+  serve::JobRequest job = ghz_request(3);
+  job.source_name = "evil\nseed=999";
+  EXPECT_THROW((void)net::encode_submit_payload(job), net::ProtocolError);
+  job = ghz_request(3);
+  job.strategy = "band\nmerge=0";
+  EXPECT_THROW((void)net::encode_submit_payload(job), net::ProtocolError);
+  job = ghz_request(3);
+  job.backend = "mps\nfuse=1";
+  EXPECT_THROW((void)net::encode_submit_payload(job), net::ProtocolError);
+}
+
 TEST(NetProtocol, ResultMetaAndErrorPayloadsRoundTrip) {
   net::ResultMeta meta;
   meta.job_id = 42;
@@ -266,6 +280,19 @@ TEST(NetShardRouter, ConsistentRoutingWithMinimalRemapping) {
     } else {
       EXPECT_NE(router.route(fp), "10.0.0.2:7411");
     }
+  }
+}
+
+TEST(NetShardRouter, ShardedClientRejectsBadEndpointPorts) {
+  // Non-numeric and out-of-range ports must fail with the project's
+  // precondition diagnostic, not a raw std::stoul throw or a silent
+  // uint16_t truncation ('70000' must not become port 4464).
+  for (const char* endpoint :
+       {"127.0.0.1:notaport", "127.0.0.1:70000", "127.0.0.1:0",
+        "127.0.0.1:7411x"}) {
+    net::ShardedClient fleet({endpoint});
+    EXPECT_THROW((void)fleet.stats_json(endpoint), precondition_error)
+        << endpoint;
   }
 }
 
@@ -444,6 +471,24 @@ net::FdStream::ReadStatus read_reply(net::FdStream& stream, net::Frame& out) {
   return net::FdStream::ReadStatus::kIdle;
 }
 
+/// A raw connected FdStream (client side) with a short receive tick, for
+/// byte-level abuse of a server's port.
+std::unique_ptr<net::FdStream> raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    throw runtime_failure("raw connect failed");
+  }
+  timeval tv{0, 100000};
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  return std::make_unique<net::FdStream>(fd);
+}
+
 class NetMalformedInput : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -453,25 +498,10 @@ class NetMalformedInput : public ::testing::Test {
     server_ = std::make_unique<net::Server>(config);
   }
 
-  /// A raw connected FdStream (client side) with a short receive tick.
   std::unique_ptr<net::FdStream> raw_connection() {
     net::Client probe(client_for(*server_));
     probe.ping();  // cheap way to prove the server is up
-    // Build our own socket for raw byte-level abuse.
-    net::ClientConfig config = client_for(*server_);
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config.port);
-    inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) != 0) {
-      ::close(fd);
-      throw runtime_failure("raw connect failed");
-    }
-    timeval tv{0, 100000};
-    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    return std::make_unique<net::FdStream>(fd);
+    return raw_connect(server_->port());
   }
 
   std::unique_ptr<net::Server> server_;
@@ -493,6 +523,67 @@ TEST_F(NetMalformedInput, TruncatedFrameGetsProtocolError) {
   EXPECT_EQ(reply.args[0], net::errc::kProtocol);
   EXPECT_NE(net::decode_error(reply.payload).message.find("mid-frame"),
             std::string::npos);
+}
+
+TEST_F(NetMalformedInput, EofRightAfterHeaderIsMidFrameError) {
+  auto stream = raw_connection();
+  // Header claims 100 payload bytes; half-close before sending ANY of
+  // them. The header is consumed, so this is a truncated frame — not a
+  // clean disconnect — and must come back as a structured ERROR.
+  const std::string bytes = "SUBMIT alice normal 100\n";
+  ASSERT_EQ(::send(stream->fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  ::shutdown(stream->fd(), SHUT_WR);
+
+  net::Frame reply;
+  ASSERT_EQ(read_reply(*stream, reply), net::FdStream::ReadStatus::kFrame);
+  EXPECT_EQ(reply.type, "ERROR");
+  ASSERT_EQ(reply.args.size(), 1u);
+  EXPECT_EQ(reply.args[0], net::errc::kProtocol);
+  EXPECT_NE(net::decode_error(reply.payload).message.find("mid-frame"),
+            std::string::npos);
+}
+
+TEST(NetMalformedInputStall, HeaderThenPayloadStallIsDroppedAndStopCompletes) {
+  net::ServerConfig config;
+  config.engine.workers = 1;
+  config.idle_poll_ms = 50;
+  config.frame_timeout_ms = 300;
+  auto server = std::make_unique<net::Server>(config);
+
+  // A complete header claiming a payload, then total silence with the
+  // socket held open: the frame deadline must arm even though zero payload
+  // bytes ever arrive, the server must drop the connection with a
+  // structured ERROR within frame_timeout_ms (plus poll ticks), and a
+  // subsequent stop() must not block on the stalled connection thread.
+  auto stream = raw_connect(server->port());
+  const std::string bytes = "SUBMIT alice normal 100\n";
+  ASSERT_EQ(::send(stream->fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+
+  using clock = std::chrono::steady_clock;
+  const auto sent_at = clock::now();
+  net::Frame reply;
+  ASSERT_EQ(read_reply(*stream, reply), net::FdStream::ReadStatus::kFrame);
+  const auto replied_at = clock::now();
+  EXPECT_EQ(reply.type, "ERROR");
+  ASSERT_EQ(reply.args.size(), 1u);
+  EXPECT_EQ(reply.args[0], net::errc::kProtocol);
+  EXPECT_NE(net::decode_error(reply.payload).message.find("stalled"),
+            std::string::npos);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(replied_at -
+                                                                  sent_at)
+                .count(),
+            5000);
+
+  // The socket is still open on our side; stop() must still complete
+  // promptly because the connection thread already gave up on the frame.
+  const auto stop_at = clock::now();
+  server->stop();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                clock::now() - stop_at)
+                .count(),
+            5000);
 }
 
 TEST_F(NetMalformedInput, OversizedPayloadGetsOversizeError) {
