@@ -1,0 +1,267 @@
+// Amplitude-kernel microbenchmark + end-to-end kernel-dispatch comparison.
+//
+// Part 1 sweeps every compiled-and-supported kernel set (scalar, AVX2,
+// AVX-512) over the gate classes the classifier routes — dense 1q at low /
+// mid / high qubit positions (the three stride regimes), dense 2q, diagonal,
+// permutation and controlled — and reports amplitudes touched per second.
+// Because every set computes bit-identical amplitudes (tests/test_kernels
+// pins this), the ratio is pure ISA throughput, not a numerics trade.
+//
+// Part 2 reruns the three ghz-chain workloads of bench_prefix_sharing
+// (readout- / late- / gate-noise overlap levels) under the shared-prefix +
+// fusion schedule with the kernel selection pinned to "scalar" and then to
+// the best set the CPU supports — the end-to-end win of SIMD dispatch on
+// the full trajectory engine, with scheduling gains factored out.
+//
+//   bench_gate_kernels [output.json] [--tiny]
+//
+// --tiny shrinks every dimension so the ctest smoke can exercise the JSON
+// emitter in well under a second.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ptsbe/circuit/gates.hpp"
+#include "ptsbe/common/aligned.hpp"
+#include "ptsbe/common/rng.hpp"
+#include "ptsbe/common/timer.hpp"
+#include "ptsbe/core/batched_execution.hpp"
+#include "ptsbe/core/pts.hpp"
+#include "ptsbe/kernels/kernel_set.hpp"
+#include "ptsbe/noise/channels.hpp"
+
+namespace {
+
+using namespace ptsbe;
+
+struct KernelRow {
+  std::string op;
+  std::string set;
+  unsigned qubits = 0;
+  double amps_per_second = 0.0;
+  double speedup_vs_scalar = 1.0;
+};
+
+struct WorkloadRow {
+  std::string workload;
+  unsigned qubits = 0;
+  std::size_t trajectories = 0;
+  double scalar_seconds = 0.0;
+  double dispatched_seconds = 0.0;
+  double speedup = 0.0;
+};
+
+std::vector<KernelRow> kernel_rows;
+std::vector<WorkloadRow> workload_rows;
+
+AlignedVector<cplx> random_state(unsigned n, std::uint64_t seed) {
+  RngStream rng(seed);
+  AlignedVector<cplx> amp(std::uint64_t{1} << n);
+  for (cplx& a : amp) a = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return amp;
+}
+
+/// Time `reps` applications of one prepared gate with `set`; returns
+/// amplitudes touched per second (dim per sweep — every kernel reads and
+/// writes the full array except the controlled one, which we still count at
+/// dim to keep rows comparable).
+double time_kernel(const kernels::KernelSet& set, AlignedVector<cplx>& amp,
+                   const kernels::PreparedGate& g, std::size_t reps) {
+  // Warm-up sweep: faults pages and pulls the array through the cache
+  // hierarchy once before timing.
+  kernels::apply_prepared(set, amp.data(), amp.size(), g);
+  WallTimer timer;
+  for (std::size_t r = 0; r < reps; ++r)
+    kernels::apply_prepared(set, amp.data(), amp.size(), g);
+  const double seconds = timer.seconds();
+  return static_cast<double>(amp.size()) * static_cast<double>(reps) / seconds;
+}
+
+void run_kernel_case(const std::string& op, const Matrix& m,
+                     std::vector<unsigned> qubits, unsigned n,
+                     std::size_t reps) {
+  const kernels::PreparedGate g = kernels::prepare_gate(m, qubits);
+  double scalar_rate = 0.0;
+  for (const kernels::KernelSet* set : kernels::available_sets()) {
+    AlignedVector<cplx> amp = random_state(n, 99);
+    KernelRow row;
+    row.op = op;
+    row.set = set->name;
+    row.qubits = n;
+    row.amps_per_second = time_kernel(*set, amp, g, reps);
+    if (row.set == "scalar") scalar_rate = row.amps_per_second;
+    row.speedup_vs_scalar =
+        scalar_rate > 0.0 ? row.amps_per_second / scalar_rate : 1.0;
+    std::printf("%-22s %-8s %8.1f Mamps/s  %5.2fx\n", op.c_str(), row.set.c_str(),
+                row.amps_per_second / 1e6, row.speedup_vs_scalar);
+    kernel_rows.push_back(std::move(row));
+  }
+}
+
+/// Same dressed-GHZ workloads as bench_prefix_sharing, so the two JSON
+/// artifacts describe the same programs.
+NoisyCircuit ghz_workload(unsigned n, const std::string& overlap,
+                          unsigned late_cx) {
+  Circuit c(n);
+  for (unsigned q = 0; q < n; ++q)
+    c.ry(q, 0.11 * (q + 1)).rz(q, 0.07 * (q + 1));
+  c.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  for (unsigned q = 0; q < n; ++q)
+    c.rz(q, 0.05 * (q + 1)).ry(q, 0.13 * (q + 1));
+  c.measure_all();
+  NoiseModel noise;
+  if (overlap == "readout") {
+    noise.add_measurement_noise(channels::bit_flip(0.15));
+  } else if (overlap == "late") {
+    const unsigned first = n - 1 > late_cx ? n - 1 - late_cx : 0;
+    for (unsigned q = first; q + 1 < n; ++q)
+      noise.add_gate_noise_on("cx", {q, q + 1}, channels::depolarizing2(0.12));
+    noise.add_measurement_noise(channels::bit_flip(0.02));
+  } else {
+    noise.add_all_gate_noise(channels::depolarizing(0.01));
+  }
+  return noise.apply(c);
+}
+
+/// Best-of-`repeats` wall clock: one trajectory sweep is seconds-long, so a
+/// single sample is hostage to scheduler and page-cache noise; the minimum
+/// is the standard low-variance estimator for a fixed workload.
+double time_pinned(const NoisyCircuit& noisy,
+                   const std::vector<TrajectorySpec>& specs,
+                   const char* kernel, std::size_t repeats) {
+  kernels::set_active(kernel);
+  be::Options options;
+  options.schedule = be::Schedule::kSharedPrefix;
+  options.config.fuse_gates = true;
+  double best = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    const be::Result result = be::execute(noisy, specs, options);
+    const double seconds = timer.seconds();
+    (void)result;
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+void run_workload_case(const std::string& label, const NoisyCircuit& noisy,
+                       std::size_t trajectories, std::uint64_t shots,
+                       std::size_t repeats) {
+  RngStream rng(1234);
+  pts::Options opt;
+  opt.nsamples = trajectories;
+  opt.nshots = shots;
+  opt.merge_duplicates = true;
+  const std::vector<TrajectorySpec> specs =
+      pts::sample_probabilistic(noisy, opt, rng);
+
+  WorkloadRow row;
+  row.workload = label;
+  row.qubits = noisy.num_qubits();
+  row.trajectories = specs.size();
+  row.scalar_seconds = time_pinned(noisy, specs, "scalar", repeats);
+  row.dispatched_seconds = time_pinned(
+      noisy, specs, kernels::best_available_set().name, repeats);
+  kernels::set_active("auto");
+  row.speedup = row.scalar_seconds / row.dispatched_seconds;
+  std::printf("%-40s traj=%5zu  scalar %8.3fs  %s %8.3fs  %5.2fx\n",
+              label.c_str(), row.trajectories, row.scalar_seconds,
+              kernels::best_available_set().name, row.dispatched_seconds,
+              row.speedup);
+  workload_rows.push_back(std::move(row));
+}
+
+void write_json(const char* path) {
+  std::FILE* os = std::fopen(path, "w");
+  if (os == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(os,
+               "{\n  \"bench\": \"gate_kernels\",\n  \"dispatch\": \"%s\",\n"
+               "  \"kernel_rows\": [\n",
+               kernels::describe_dispatch().c_str());
+  for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+    const KernelRow& r = kernel_rows[i];
+    std::fprintf(os,
+                 "    {\"op\": \"%s\", \"set\": \"%s\", \"qubits\": %u, "
+                 "\"amps_per_second\": %.3e, \"speedup_vs_scalar\": %.3f}%s\n",
+                 r.op.c_str(), r.set.c_str(), r.qubits, r.amps_per_second,
+                 r.speedup_vs_scalar, i + 1 < kernel_rows.size() ? "," : "");
+  }
+  std::fprintf(os, "  ],\n  \"workload_rows\": [\n");
+  for (std::size_t i = 0; i < workload_rows.size(); ++i) {
+    const WorkloadRow& r = workload_rows[i];
+    std::fprintf(
+        os,
+        "    {\"workload\": \"%s\", \"qubits\": %u, \"trajectories\": %zu, "
+        "\"scalar_seconds\": %.4f, \"dispatched_seconds\": %.4f, "
+        "\"speedup\": %.3f}%s\n",
+        r.workload.c_str(), r.qubits, r.trajectories, r.scalar_seconds,
+        r.dispatched_seconds, r.speedup,
+        i + 1 < workload_rows.size() ? "," : "");
+  }
+  std::fprintf(os, "  ]\n}\n");
+  const bool ok = std::ferror(os) == 0;
+  if (std::fclose(os) != 0 || !ok) {
+    std::fprintf(stderr, "error while writing %s\n", path);
+    return;
+  }
+  std::printf("\nwrote %s (%zu kernel rows, %zu workload rows)\n", path,
+              kernel_rows.size(), workload_rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_gate_kernels.json";
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0)
+      tiny = true;
+    else
+      out = argv[i];
+  }
+
+  std::printf("kernel dispatch: %s\n\n", kernels::describe_dispatch().c_str());
+
+  const unsigned n = tiny ? 8 : 18;
+  const std::size_t reps = tiny ? 4 : 96;
+  RngStream mats(7);
+  Matrix u1(2, 2), u2(4, 4);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      u1(r, c) = cplx(mats.uniform(0.1, 1.0), mats.uniform(0.1, 1.0));
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      u2(r, c) = cplx(mats.uniform(0.1, 1.0), mats.uniform(0.1, 1.0));
+
+  std::printf("per-kernel throughput (n=%u, %zu sweeps per timing)\n\n", n,
+              reps);
+  run_kernel_case("dense1q/low(q=0)", u1, {0}, n, reps);
+  run_kernel_case("dense1q/mid", u1, {n / 2}, n, reps);
+  run_kernel_case("dense1q/high", u1, {n - 1}, n, reps);
+  run_kernel_case("dense2q", u2, {n / 2, n / 2 + 1}, n, reps);
+  run_kernel_case("diag1q(S)", gates::S(), {n / 2}, n, reps * 2);
+  run_kernel_case("diag2q(CZ)", gates::CZ(), {1, n - 1}, n, reps * 2);
+  run_kernel_case("perm1q(X)", gates::X(), {n / 2}, n, reps * 2);
+  run_kernel_case("ctrl1q(CX)", gates::CX(), {0, n - 1}, n, reps * 2);
+
+  const std::uint64_t shots = tiny ? 8 : 64;
+  const std::size_t trajectories = tiny ? 20 : 500;
+  const std::size_t repeats = tiny ? 1 : 3;
+  std::printf("\nend-to-end (shared-prefix + fusion, statevector backend, "
+              "best of %zu)\n\n", repeats);
+  run_workload_case("ghz" + std::to_string(n) + "/high-overlap(readout-noise)",
+                    ghz_workload(n, "readout", 0), trajectories, shots, repeats);
+  run_workload_case("ghz" + std::to_string(n) + "/high-overlap(late-noise)",
+                    ghz_workload(n, "late", 4), trajectories, shots, repeats);
+  run_workload_case("ghz" + std::to_string(n) + "/moderate-overlap(gate-noise)",
+                    ghz_workload(n, "all", 0), trajectories, shots, repeats);
+
+  write_json(out);
+  return 0;
+}

@@ -35,6 +35,7 @@
 
 #include "ptsbe/core/pipeline.hpp"
 #include "ptsbe/io/ptq.hpp"
+#include "ptsbe/kernels/kernel_set.hpp"
 #include "ptsbe/noise/channels.hpp"
 #include "ptsbe/qec/metrics.hpp"
 
@@ -51,6 +52,11 @@ void usage(std::FILE* os, const char* argv0) {
       "                         overlapping preparations amortised)\n"
       "  --fuse                 fuse adjacent same-support gates before the\n"
       "                         preparation sweep (amplitude backends)\n"
+      "  --kernel NAME          amplitude kernel set: scalar, avx2, avx512\n"
+      "                         or auto (best this CPU supports); overrides\n"
+      "                         the PTSBE_KERNEL environment variable;\n"
+      "                         records are bit-identical across kernel\n"
+      "                         sets [auto]\n"
       "  --circuit PATH         run the .ptq circuit file instead of the\n"
       "                         built-in GHZ demo (--qubits/--noise ignored)\n"
       "  --qec CODE             run a QEC memory experiment instead of the\n"
@@ -102,6 +108,7 @@ int main(int argc, char** argv) {
   bool backend_explicit = false;
   std::string schedule = "independent";
   bool fuse = false;
+  std::string kernel;
   std::string circuit_path;
   std::string qec_code;
   unsigned qec_distance = 3;
@@ -138,7 +145,7 @@ int main(int argc, char** argv) {
       std::printf("\nbackends:  ");
       for (const auto& n : BackendRegistry::instance().names())
         std::printf(" %s", n.c_str());
-      std::printf("\n");
+      std::printf("\nkernels:    %s\n", kernels::describe_dispatch().c_str());
       return 0;
     } else if (arg == "--strategy") {
       strategy = value();
@@ -149,6 +156,8 @@ int main(int argc, char** argv) {
       schedule = value();
     } else if (arg == "--fuse") {
       fuse = true;
+    } else if (arg == "--kernel") {
+      kernel = value();
     } else if (arg == "--circuit") {
       circuit_path = value();
     } else if (arg == "--qec") {
@@ -217,6 +226,15 @@ int main(int argc, char** argv) {
     (void)be::schedule_from_string(schedule);
   } catch (const std::exception& e) {
     reject(argv[0], e.what());
+  }
+  if (!kernel.empty()) {
+    try {
+      // Binds the amplitude kernel set for the whole process; an unknown or
+      // CPU-unsupported name fails fast (the message lists what exists).
+      kernels::set_active(kernel);
+    } catch (const std::exception& e) {
+      reject(argv[0], e.what());
+    }
   }
   // QEC-mode names fail fast too (the builders own the name lists).
   if (!qec_code.empty()) {

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file aligned.hpp
+/// \brief Over-aligned allocator for amplitude storage.
+///
+/// The SIMD amplitude kernels (ptsbe::kernels) use *aligned* vector
+/// loads/stores on every full-width access, which requires the amplitude
+/// array base to sit on a 64-byte boundary (one cache line; covers AVX-512's
+/// 64-byte registers and keeps the scalar path cache-line tidy for free).
+/// `AlignedVector<cplx>` is what StateVector / DensityMatrix store their
+/// amplitudes in.
+
+#include <cstddef>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace ptsbe {
+
+/// Minimal C++20 allocator handing out `Alignment`-aligned storage via the
+/// aligned operator new/delete.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose buffer is 64-byte aligned (the kernel layout
+/// contract for amplitude arrays).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace ptsbe

@@ -67,6 +67,20 @@ class SimStateAdapter final : public SimState {
     state_.apply_gate(matrix, qubits);
   }
 
+  [[nodiscard]] bool supports_prepared_runs() const override {
+    return requires(State& s, std::span<const kernels::PreparedGate> g) {
+      s.apply_prepared_gates(g);
+    };
+  }
+
+  void apply_prepared_run(
+      std::span<const kernels::PreparedGate> gates) override {
+    if constexpr (requires { state_.apply_prepared_gates(gates); })
+      state_.apply_prepared_gates(gates);
+    else
+      SimState::apply_prepared_run(gates);
+  }
+
   [[nodiscard]] double branch_probability(
       const Matrix& k, std::span<const unsigned> qubits) override {
     return state_.branch_probability(k, qubits);
@@ -119,10 +133,21 @@ class AmplitudeBackend : public Backend {
     const std::vector<std::size_t> assignment = full_assignment(noisy, spec);
     WallTimer timer;
     const SimStatePtr state = make_state(noisy.num_qubits());
+    const bool batched = state->supports_prepared_runs();
     bool realizable = true;
-    for (const PlanStep& step : plan.steps) {
+    std::size_t s = 0;
+    while (s < plan.steps.size()) {
+      const PlanStep& step = plan.steps[s];
       if (step.is_gate) {
-        state->apply_gate(step.matrix, step.qubits);
+        const std::size_t run =
+            batched ? plan.run_starting_at(s) : ExecPlan::npos;
+        if (run != ExecPlan::npos) {
+          state->apply_prepared_run(plan.prepared_runs[run].gates);
+          s += plan.prepared_runs[run].gates.size();
+        } else {
+          state->apply_gate(step.matrix, step.qubits);
+          ++s;
+        }
         continue;
       }
       if (!apply_branch(*state, noisy.sites()[step.site],
@@ -130,6 +155,7 @@ class AmplitudeBackend : public Backend {
         realizable = false;
         break;
       }
+      ++s;
     }
     out.prepare_seconds = timer.seconds();
     timer.reset();

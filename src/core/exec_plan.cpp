@@ -60,6 +60,31 @@ ExecPlan build_exec_plan(const NoisyCircuit& noisy, bool fuse_gates) {
   emit_segment(plan, segment, fuse_gates);
   for (const PlanStep& step : plan.steps)
     step.is_gate ? ++plan.gate_count : ++plan.site_count;
+
+  // Pre-classify barrier-free 1-/2-qubit gate stretches into PreparedRuns:
+  // the per-gate classification and matrix flattening happen once here,
+  // then every trajectory walk consumes whole runs through the batched
+  // kernel entry point. A gate wider than 2 qubits breaks the run (it
+  // takes the general k-qubit path), as does any site step.
+  plan.run_at_step.assign(plan.steps.size(), ExecPlan::npos);
+  std::size_t s = 0;
+  while (s < plan.steps.size()) {
+    const PlanStep& step = plan.steps[s];
+    if (!step.is_gate || step.qubits.size() > 2) {
+      ++s;
+      continue;
+    }
+    ExecPlan::PreparedRun run;
+    run.first_step = s;
+    while (s < plan.steps.size() && plan.steps[s].is_gate &&
+           plan.steps[s].qubits.size() <= 2) {
+      run.gates.push_back(
+          kernels::prepare_gate(plan.steps[s].matrix, plan.steps[s].qubits));
+      ++s;
+    }
+    plan.run_at_step[run.first_step] = plan.prepared_runs.size();
+    plan.prepared_runs.push_back(std::move(run));
+  }
   return plan;
 }
 

@@ -39,7 +39,30 @@ struct PlanStep {
 
 /// Linearised (optionally fused) preparation recipe for one noisy program.
 struct ExecPlan {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// A barrier-free stretch of consecutive 1-/2-qubit gate steps,
+  /// pre-classified into flat `PreparedGate`s once at plan-build time so
+  /// every trajectory walk skips per-step matrix indirection and gate
+  /// classification. `gates.size()` plan steps starting at `first_step`
+  /// are covered.
+  struct PreparedRun {
+    std::size_t first_step = 0;
+    std::vector<kernels::PreparedGate> gates;
+  };
+
   std::vector<PlanStep> steps;
+  std::vector<PreparedRun> prepared_runs;
+  /// Index into `prepared_runs` of the run starting at each step
+  /// (`npos` when no run starts there). Same length as `steps`.
+  std::vector<std::size_t> run_at_step;
+
+  /// Run starting exactly at `step`, or npos. Walkers enter plans only at
+  /// step 0 or just after a site step, which is where runs begin.
+  [[nodiscard]] std::size_t run_starting_at(std::size_t step) const {
+    return step < run_at_step.size() ? run_at_step[step] : npos;
+  }
+
   /// Gate sweeps per trajectory before fusion (diagnostics for the bench).
   std::size_t unfused_gate_count = 0;
   /// Gate sweeps per trajectory in `steps`.

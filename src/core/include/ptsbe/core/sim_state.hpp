@@ -30,7 +30,9 @@
 #include <span>
 #include <vector>
 
+#include "ptsbe/common/error.hpp"
 #include "ptsbe/common/rng.hpp"
+#include "ptsbe/kernels/kernel_set.hpp"
 #include "ptsbe/linalg/matrix.hpp"
 
 namespace ptsbe {
@@ -50,6 +52,21 @@ class SimState {
   /// Apply a unitary on `qubits` (first listed = LSB of the matrix).
   virtual void apply_gate(const Matrix& matrix,
                           std::span<const unsigned> qubits) = 0;
+
+  /// True when this state consumes classified `kernels::PreparedGate` runs
+  /// directly (the amplitude representations). Plan walkers use this to
+  /// swap per-step `apply_gate` calls for one `apply_prepared_run` per
+  /// barrier-free gate stretch.
+  [[nodiscard]] virtual bool supports_prepared_runs() const { return false; }
+
+  /// Apply a contiguous prepared-gate run in one batched pass. Only valid
+  /// when `supports_prepared_runs()` is true; the sequence of per-gate
+  /// applies is identical to calling `apply_gate` step by step, so records
+  /// cannot depend on which walker path ran.
+  virtual void apply_prepared_run(std::span<const kernels::PreparedGate>) {
+    throw precondition_error(
+        "apply_prepared_run on a state without prepared-run support");
+  }
 
   /// Realised probability ⟨ψ|K†K|ψ⟩ of Kraus operator `k` at this state.
   [[nodiscard]] virtual double branch_probability(

@@ -83,12 +83,23 @@ void run_subtree(const WalkPtr& walk, std::size_t worker, SimStatePtr state,
                  std::span<const std::size_t> group) {
   if (walk->executor.cancelled()) return;
   WallTimer timer;
+  const bool batched = state->supports_prepared_runs();
   std::size_t s = step;
   while (s < walk->plan.steps.size()) {
     const PlanStep& plan_step = walk->plan.steps[s];
     if (plan_step.is_gate) {
-      state->apply_gate(plan_step.matrix, plan_step.qubits);
-      ++s;
+      // Subtrees enter the plan at step 0 or just after a site step, which
+      // is exactly where prepared runs begin — so whole barrier-free gate
+      // stretches go through the batched kernel path.
+      const std::size_t run =
+          batched ? walk->plan.run_starting_at(s) : ExecPlan::npos;
+      if (run != ExecPlan::npos) {
+        state->apply_prepared_run(walk->plan.prepared_runs[run].gates);
+        s += walk->plan.prepared_runs[run].gates.size();
+      } else {
+        state->apply_gate(plan_step.matrix, plan_step.qubits);
+        ++s;
+      }
       continue;
     }
     if (walk->executor.cancelled()) {

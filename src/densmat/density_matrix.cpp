@@ -29,6 +29,44 @@ cplx DensityMatrix::element(std::uint64_t r, std::uint64_t c) const {
 
 void DensityMatrix::apply_op_left(const Matrix& m,
                                   std::span<const unsigned> qubits) {
+  if (qubits.size() <= 2) {
+    // Flat index of ρ is (r << n) | c: the row bits start at bit n, so a
+    // left-multiply is a statevector kernel apply on shifted qubits over
+    // the 4^n flat array.
+    const kernels::PreparedGate g = kernels::prepare_gate(m, qubits);
+    kernels::apply_prepared(kernels::active(), rho_.data(), rho_.size(),
+                            kernels::shifted(g, n_));
+    return;
+  }
+  apply_op_left_k(m, qubits);
+}
+
+void DensityMatrix::apply_op_right_dagger(const Matrix& m,
+                                          std::span<const unsigned> qubits) {
+  if (qubits.size() <= 2) {
+    // (ρ M†)(r, c) = Σ_cc ρ(r, cc) · conj(M(c, cc)): a kernel apply of
+    // conj(M) on the column bits (the low n bits of the flat index).
+    const kernels::PreparedGate g = kernels::prepare_gate(m, qubits);
+    kernels::apply_prepared(kernels::active(), rho_.data(), rho_.size(),
+                            kernels::conjugated(g));
+    return;
+  }
+  apply_op_right_dagger_k(m, qubits);
+}
+
+void DensityMatrix::apply_prepared_gates(
+    std::span<const kernels::PreparedGate> gates) {
+  const kernels::KernelSet& ks = kernels::active();
+  for (const kernels::PreparedGate& g : gates) {
+    kernels::apply_prepared(ks, rho_.data(), rho_.size(),
+                            kernels::shifted(g, n_));
+    kernels::apply_prepared(ks, rho_.data(), rho_.size(),
+                            kernels::conjugated(g));
+  }
+}
+
+void DensityMatrix::apply_op_left_k(const Matrix& m,
+                                    std::span<const unsigned> qubits) {
   const unsigned k = static_cast<unsigned>(qubits.size());
   const std::size_t block = std::size_t{1} << k;
   std::vector<unsigned> sorted(qubits.begin(), qubits.end());
@@ -58,8 +96,8 @@ void DensityMatrix::apply_op_left(const Matrix& m,
   }
 }
 
-void DensityMatrix::apply_op_right_dagger(const Matrix& m,
-                                          std::span<const unsigned> qubits) {
+void DensityMatrix::apply_op_right_dagger_k(const Matrix& m,
+                                            std::span<const unsigned> qubits) {
   const unsigned k = static_cast<unsigned>(qubits.size());
   const std::size_t block = std::size_t{1} << k;
   std::vector<unsigned> sorted(qubits.begin(), qubits.end());
@@ -146,9 +184,11 @@ void DensityMatrix::apply_channel(const KrausChannel& channel,
                                   std::span<const unsigned> qubits) {
   PTSBE_REQUIRE(qubits.size() == channel.arity(),
                 "channel arity / qubit count mismatch");
-  // Accumulate Σ K ρ K† across branches from a saved copy of ρ.
-  const std::vector<cplx> saved = rho_;
-  std::vector<cplx> acc(rho_.size(), cplx{0.0, 0.0});
+  // Accumulate Σ K ρ K† across branches from a saved copy of ρ. Both
+  // buffers stay in the aligned vector type so the kernel-backed applies
+  // keep operating on rho_ after the final move-assign.
+  const AlignedVector<cplx> saved = rho_;
+  AlignedVector<cplx> acc(rho_.size(), cplx{0.0, 0.0});
   for (std::size_t i = 0; i < channel.num_branches(); ++i) {
     rho_ = saved;
     apply_op_left(channel.kraus(i), qubits);

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/common/aligned.hpp"
 #include "ptsbe/common/rng.hpp"
+#include "ptsbe/kernels/kernel_set.hpp"
 #include "ptsbe/linalg/matrix.hpp"
 #include "ptsbe/noise/noise_model.hpp"
 
@@ -47,6 +49,11 @@ class DensityMatrix {
   void apply_gate(const Matrix& u, std::span<const unsigned> qubits) {
     apply_unitary(u, qubits);
   }
+
+  /// Batched kernel entry point: conjugate ρ by a pre-classified gate run
+  /// in one pass (each gate is U·ρ then ρ·U†, both through the flat-index
+  /// amplitude kernels — see apply_op_left).
+  void apply_prepared_gates(std::span<const kernels::PreparedGate> gates);
 
   /// tr(K†K ρ) — the realised branch probability of Kraus operator K on
   /// `qubits` at the current state. Does not modify the state.
@@ -92,13 +99,20 @@ class DensityMatrix {
 
  private:
   // Left-multiply rows by M on `qubits` (ρ ← M ρ), then the adjoint pass
-  // right-multiplies (ρ ← ρ M†); both via the same strided kernel.
+  // right-multiplies (ρ ← ρ M†). For arity <= 2 both passes run through the
+  // SIMD amplitude kernels on the flat row-major array: the flat index is
+  // (r << n) | c, so M ρ is a kernel apply on qubits shifted up by n and
+  // ρ M† is a kernel apply of conj(M) on the unshifted qubits.
   void apply_op_left(const Matrix& m, std::span<const unsigned> qubits);
   void apply_op_right_dagger(const Matrix& m, std::span<const unsigned> qubits);
+  // General k-qubit fallbacks (arity > 2).
+  void apply_op_left_k(const Matrix& m, std::span<const unsigned> qubits);
+  void apply_op_right_dagger_k(const Matrix& m,
+                               std::span<const unsigned> qubits);
 
   unsigned n_;
   std::uint64_t dim_;
-  std::vector<cplx> rho_;  // row-major dim_ × dim_
+  AlignedVector<cplx> rho_;  // row-major dim_ × dim_
 };
 
 }  // namespace ptsbe

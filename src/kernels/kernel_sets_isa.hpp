@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file kernel_sets_isa.hpp (private to src/kernels)
+/// \brief Declarations of the per-ISA kernel sets. Each is defined in its
+/// own translation unit compiled with that ISA's `-m` flags; which ones
+/// exist in this binary is decided by CMake via the PTSBE_KERNELS_HAVE_*
+/// definitions (set PRIVATE on the ptsbe_kernels target).
+
+#include "ptsbe/kernels/kernel_set.hpp"
+
+namespace ptsbe::kernels {
+
+#if defined(PTSBE_KERNELS_HAVE_AVX2)
+const KernelSet& avx2_kernel_set();
+#endif
+#if defined(PTSBE_KERNELS_HAVE_AVX512)
+const KernelSet& avx512_kernel_set();
+#endif
+
+}  // namespace ptsbe::kernels

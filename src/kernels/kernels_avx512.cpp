@@ -1,0 +1,79 @@
+/// \file kernels_avx512.cpp
+/// \brief AVX-512 kernel set: 512-bit registers, four complex amplitudes
+/// per register. Compiled with -mavx512f -mavx512dq -ffp-contract=off
+/// (DQ supplies _mm512_xor_pd and _mm512_broadcast_f64x2); dispatched only
+/// when the CPU reports both avx512f and avx512dq.
+///
+/// Same arithmetic-shape rules as the AVX2 set: no FMA, subtraction as
+/// multiply-by-sign-flipped coefficient, scalar summation order per lane,
+/// with the coefficient split hoisted out of the sweep loops by prep().
+
+#include <immintrin.h>
+
+#include "kernels_impl.hpp"
+
+namespace ptsbe::kernels {
+namespace {
+
+struct Avx512Policy {
+  static constexpr unsigned kWidth = 4;
+  using Reg = __m512d;
+  /// Prepared loop-invariant multiplier: `re` carries c.re in both lanes of
+  /// each pair, `im` carries (-c.im, +c.im) pairs with the sign of the
+  /// complex subtraction pre-applied.
+  struct Coef {
+    Reg re, im;
+  };
+  static Reg load(const cplx* p) {
+    return _mm512_load_pd(reinterpret_cast<const double*>(p));
+  }
+  static void store(cplx* p, Reg v) {
+    _mm512_store_pd(reinterpret_cast<double*>(p), v);
+  }
+  static Reg bcast(cplx v) {
+    return _mm512_broadcast_f64x2(
+        _mm_loadu_pd(reinterpret_cast<const double*>(&v)));
+  }
+  static Reg add(Reg a, Reg b) { return _mm512_add_pd(a, b); }
+  static Coef prep(Reg c) {
+    const Reg sign =
+        _mm512_set_pd(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+    return {_mm512_movedup_pd(c),
+            _mm512_xor_pd(_mm512_permute_pd(c, 0xFF), sign)};
+  }
+  static Reg swapri(Reg v) { return _mm512_permute_pd(v, 0x55); }
+  /// Per complex lane, with vs = swapri(v):
+  ///   re = v.re*c.re + v.im*(-c.im),  im = v.im*c.re + v.re*c.im
+  /// — bit-identical to the scalar reference (products commute bitwise,
+  /// (-x)*y == -(x*y) exactly, FP add commutes bitwise).
+  static Reg mulc(Coef c, Reg v, Reg vs) {
+    return _mm512_add_pd(_mm512_mul_pd(v, c.re), _mm512_mul_pd(vs, c.im));
+  }
+  /// Dense 2x2 on qubit 0 over eight consecutive amplitudes: gather the
+  /// even/odd amplitudes of four (v0, v1) pairs into two registers with
+  /// permutex2var, run the dense math, scatter back.
+  static void apply1_stride1(cplx* p, const Coef* mc) {
+    const Reg a = load(p);      // [c0 c1 c2 c3]
+    const Reg b = load(p + 4);  // [c4 c5 c6 c7]
+    const __m512i even = _mm512_set_epi64(13, 12, 9, 8, 5, 4, 1, 0);
+    const __m512i odd = _mm512_set_epi64(15, 14, 11, 10, 7, 6, 3, 2);
+    const Reg v0 = _mm512_permutex2var_pd(a, even, b);  // [c0 c2 c4 c6]
+    const Reg v1 = _mm512_permutex2var_pd(a, odd, b);   // [c1 c3 c5 c7]
+    const Reg v0s = swapri(v0), v1s = swapri(v1);
+    const Reg o0 = add(mulc(mc[0], v0, v0s), mulc(mc[1], v1, v1s));
+    const Reg o1 = add(mulc(mc[2], v0, v0s), mulc(mc[3], v1, v1s));
+    const __m512i lo = _mm512_set_epi64(11, 10, 3, 2, 9, 8, 1, 0);
+    const __m512i hi = _mm512_set_epi64(15, 14, 7, 6, 13, 12, 5, 4);
+    store(p, _mm512_permutex2var_pd(o0, lo, o1));      // [c0' c1' c2' c3']
+    store(p + 4, _mm512_permutex2var_pd(o0, hi, o1));  // [c4' .. c7']
+  }
+};
+
+}  // namespace
+
+const KernelSet& avx512_kernel_set() {
+  static const KernelSet ks = detail::make_set<Avx512Policy>("avx512");
+  return ks;
+}
+
+}  // namespace ptsbe::kernels

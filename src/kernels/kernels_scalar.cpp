@@ -1,0 +1,15 @@
+/// \file kernels_scalar.cpp
+/// \brief The scalar reference kernel set. Compiled with -ffp-contract=off
+/// (like every kernel TU) and no ISA flags: this is the arithmetic every
+/// SIMD variant must reproduce bit-for-bit.
+
+#include "kernels_impl.hpp"
+
+namespace ptsbe::kernels {
+
+const KernelSet& scalar_kernel_set() {
+  static const KernelSet ks = detail::make_set<detail::ScalarPolicy>("scalar");
+  return ks;
+}
+
+}  // namespace ptsbe::kernels

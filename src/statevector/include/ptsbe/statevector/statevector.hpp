@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "ptsbe/circuit/circuit.hpp"
+#include "ptsbe/common/aligned.hpp"
 #include "ptsbe/common/rng.hpp"
+#include "ptsbe/kernels/kernel_set.hpp"
 #include "ptsbe/linalg/matrix.hpp"
 
 namespace ptsbe {
@@ -55,8 +57,14 @@ class StateVector {
   void set_amplitudes(std::vector<cplx> amplitudes);
 
   /// Apply a unitary `matrix` on `qubits` (first listed = LSB of the matrix).
-  /// Dispatches to the 1-/2-qubit fast kernels or the general k-qubit path.
+  /// 1-/2-qubit gates go through the active SIMD kernel set
+  /// (`ptsbe::kernels::active()`); wider gates take the general k-qubit path.
   void apply_gate(const Matrix& matrix, std::span<const unsigned> qubits);
+
+  /// Batched kernel entry point: apply a pre-classified gate run (built once
+  /// per ExecPlan) in one pass, hoisting the kernel-set lookup out of the
+  /// per-gate loop.
+  void apply_prepared_gates(std::span<const kernels::PreparedGate> gates);
 
   /// Run every gate op of `circuit` in order (measure ops are skipped).
   void apply_circuit(const Circuit& circuit);
@@ -101,12 +109,14 @@ class StateVector {
                                                         RngStream& rng) const;
 
  private:
-  void apply_matrix1(const Matrix& m, unsigned q);
-  void apply_matrix2(const Matrix& m, unsigned q0, unsigned q1);
   void apply_matrix_k(const Matrix& m, std::span<const unsigned> qubits);
 
   unsigned n_;
-  std::vector<cplx> amp_;
+  AlignedVector<cplx> amp_;
+  // Reused k-qubit gather/scatter scratch for the serial apply_matrix_k
+  // path (the parallel path keeps per-thread buffers inside the region).
+  std::vector<cplx> scratch_in_, scratch_out_;
+  std::vector<std::uint64_t> scratch_idx_;
 };
 
 /// Pack the bits of `index` selected by `qubits` (qubits[0] → output bit 0).

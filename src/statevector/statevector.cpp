@@ -30,7 +30,9 @@ void StateVector::reset() {
 void StateVector::set_amplitudes(std::vector<cplx> amplitudes) {
   PTSBE_REQUIRE(amplitudes.size() == amp_.size(),
                 "amplitude vector size must be 2^n");
-  amp_ = std::move(amplitudes);
+  // Copy (not move): amp_ lives in 64-byte-aligned storage for the SIMD
+  // kernels, which an ordinary std::vector buffer cannot guarantee.
+  amp_.assign(amplitudes.begin(), amplitudes.end());
 }
 
 void StateVector::apply_gate(const Matrix& matrix,
@@ -41,13 +43,18 @@ void StateVector::apply_gate(const Matrix& matrix,
   PTSBE_REQUIRE(matrix.rows() == dim && matrix.cols() == dim,
                 "gate matrix dimension mismatch");
   for (unsigned q : qubits) PTSBE_REQUIRE(q < n_, "gate qubit out of range");
-  if (qubits.size() == 1) {
-    apply_matrix1(matrix, qubits[0]);
-  } else if (qubits.size() == 2) {
-    apply_matrix2(matrix, qubits[0], qubits[1]);
+  if (qubits.size() <= 2) {
+    kernels::apply_gate(kernels::active(), amp_.data(), amp_.size(), matrix,
+                        qubits);
   } else {
     apply_matrix_k(matrix, qubits);
   }
+}
+
+void StateVector::apply_prepared_gates(
+    std::span<const kernels::PreparedGate> gates) {
+  const kernels::KernelSet& ks = kernels::active();
+  kernels::apply_prepared_span(ks, amp_.data(), amp_.size(), gates);
 }
 
 void StateVector::apply_circuit(const Circuit& circuit) {
@@ -59,45 +66,6 @@ void StateVector::apply_circuit(const Circuit& circuit) {
   }
 }
 
-void StateVector::apply_matrix1(const Matrix& m, unsigned q) {
-  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
-  const std::int64_t groups = static_cast<std::int64_t>(amp_.size() >> 1);
-  cplx* const a = amp_.data();
-#pragma omp parallel for schedule(static) if (amp_.size() >= kParallelThreshold)
-  for (std::int64_t i = 0; i < groups; ++i) {
-    const std::uint64_t i0 = insert_zero_bit(static_cast<std::uint64_t>(i), q);
-    const std::uint64_t i1 = i0 | (1ULL << q);
-    const cplx v0 = a[i0];
-    const cplx v1 = a[i1];
-    a[i0] = m00 * v0 + m01 * v1;
-    a[i1] = m10 * v0 + m11 * v1;
-  }
-}
-
-void StateVector::apply_matrix2(const Matrix& m, unsigned q0, unsigned q1) {
-  const unsigned lo = std::min(q0, q1);
-  const unsigned hi = std::max(q0, q1);
-  const std::int64_t groups = static_cast<std::int64_t>(amp_.size() >> 2);
-  cplx* const a = amp_.data();
-  // Copy the 4x4 into a flat array for register-friendly access.
-  cplx mm[16];
-  for (std::size_t r = 0; r < 4; ++r)
-    for (std::size_t c = 0; c < 4; ++c) mm[r * 4 + c] = m(r, c);
-#pragma omp parallel for schedule(static) if (amp_.size() >= kParallelThreshold)
-  for (std::int64_t i = 0; i < groups; ++i) {
-    const std::uint64_t base =
-        insert_two_zero_bits(static_cast<std::uint64_t>(i), lo, hi);
-    std::uint64_t idx[4];
-    for (unsigned b = 0; b < 4; ++b)
-      idx[b] = base | (static_cast<std::uint64_t>(b & 1u) << q0) |
-               (static_cast<std::uint64_t>((b >> 1) & 1u) << q1);
-    const cplx v0 = a[idx[0]], v1 = a[idx[1]], v2 = a[idx[2]], v3 = a[idx[3]];
-    for (unsigned r = 0; r < 4; ++r)
-      a[idx[r]] = mm[r * 4 + 0] * v0 + mm[r * 4 + 1] * v1 + mm[r * 4 + 2] * v2 +
-                  mm[r * 4 + 3] * v3;
-  }
-}
-
 void StateVector::apply_matrix_k(const Matrix& m,
                                  std::span<const unsigned> qubits) {
   const unsigned k = static_cast<unsigned>(qubits.size());
@@ -106,28 +74,43 @@ void StateVector::apply_matrix_k(const Matrix& m,
   std::sort(sorted.begin(), sorted.end());
   const std::int64_t groups = static_cast<std::int64_t>(amp_.size() >> k);
   cplx* const a = amp_.data();
-#pragma omp parallel if (amp_.size() >= kParallelThreshold)
+  const auto process_group = [&](std::int64_t g, cplx* in, cplx* out,
+                                 std::uint64_t* idx) {
+    std::uint64_t base = static_cast<std::uint64_t>(g);
+    for (unsigned b = 0; b < k; ++b) base = insert_zero_bit(base, sorted[b]);
+    for (std::size_t local = 0; local < dim; ++local) {
+      std::uint64_t full = base;
+      for (unsigned b = 0; b < k; ++b)
+        if ((local >> b) & 1u) full |= 1ULL << qubits[b];
+      idx[local] = full;
+      in[local] = a[full];
+    }
+    for (std::size_t r = 0; r < dim; ++r) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (std::size_t local = 0; local < dim; ++local) a[idx[local]] = out[local];
+  };
+  if (amp_.size() < kParallelThreshold) {
+    // Serial path: reuse the per-instance scratch across calls instead of
+    // allocating three vectors per gate.
+    scratch_in_.resize(dim);
+    scratch_out_.resize(dim);
+    scratch_idx_.resize(dim);
+    for (std::int64_t g = 0; g < groups; ++g)
+      process_group(g, scratch_in_.data(), scratch_out_.data(),
+                    scratch_idx_.data());
+    return;
+  }
+#pragma omp parallel
   {
+    // One allocation per thread per call, amortised over 2^n/2^k groups.
     std::vector<cplx> in(dim), out(dim);
     std::vector<std::uint64_t> idx(dim);
 #pragma omp for schedule(static)
-    for (std::int64_t g = 0; g < groups; ++g) {
-      std::uint64_t base = static_cast<std::uint64_t>(g);
-      for (unsigned b = 0; b < k; ++b) base = insert_zero_bit(base, sorted[b]);
-      for (std::size_t local = 0; local < dim; ++local) {
-        std::uint64_t full = base;
-        for (unsigned b = 0; b < k; ++b)
-          if ((local >> b) & 1u) full |= 1ULL << qubits[b];
-        idx[local] = full;
-        in[local] = a[full];
-      }
-      for (std::size_t r = 0; r < dim; ++r) {
-        cplx acc{0.0, 0.0};
-        for (std::size_t c = 0; c < dim; ++c) acc += m(r, c) * in[c];
-        out[r] = acc;
-      }
-      for (std::size_t local = 0; local < dim; ++local) a[idx[local]] = out[local];
-    }
+    for (std::int64_t g = 0; g < groups; ++g)
+      process_group(g, in.data(), out.data(), idx.data());
   }
 }
 

@@ -1,0 +1,372 @@
+// The kernel layer's acceptance gates: (1) gate classification is exact —
+// anything not provably structured takes the general dense path; (2) every
+// compiled-and-supported kernel set (scalar / AVX2 / AVX-512) produces
+// **bit-for-bit identical** amplitudes to the scalar reference, across qubit
+// positions that exercise low / mid / high bit strides and every gate class;
+// (3) the batched prepared-run entry point equals op-by-op application on
+// both amplitude backends; (4) end-to-end trajectory results are byte-stable
+// across kernel selections. This is what makes SIMD dispatch a pure
+// optimisation, invisible to the repo's determinism matrices.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ptsbe/circuit/gates.hpp"
+#include "ptsbe/common/aligned.hpp"
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/common/rng.hpp"
+#include "ptsbe/core/pipeline.hpp"
+#include "ptsbe/densmat/density_matrix.hpp"
+#include "ptsbe/kernels/kernel_set.hpp"
+#include "ptsbe/noise/channels.hpp"
+#include "ptsbe/statevector/statevector.hpp"
+
+namespace ptsbe {
+namespace {
+
+using kernels::GateClass;
+using kernels::PreparedGate;
+
+/// Restores the process-wide kernel selection on scope exit, so a failing
+/// assertion cannot leak an override into later tests.
+struct KernelGuard {
+  ~KernelGuard() { kernels::set_active("auto"); }
+};
+
+AlignedVector<cplx> random_state(unsigned n, std::uint64_t seed) {
+  RngStream rng(seed);
+  AlignedVector<cplx> amp(std::uint64_t{1} << n);
+  for (cplx& a : amp) a = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return amp;
+}
+
+/// Dense random matrix with no exact zeros or ones, so classification can
+/// only land on the general path.
+Matrix random_dense(unsigned arity, std::uint64_t seed) {
+  RngStream rng(seed);
+  const std::size_t d = std::size_t{1} << arity;
+  Matrix m(d, d);
+  for (std::size_t r = 0; r < d; ++r)
+    for (std::size_t c = 0; c < d; ++c)
+      m(r, c) = cplx(rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0));
+  return m;
+}
+
+/// Controlled-U with the control on the matrix LSB (basis index t<<1 | c).
+Matrix controlled_on_lsb(const Matrix& u) {
+  return Matrix(4, 4,
+                {1, 0, 0, 0,
+                 0, u(0, 0), 0, u(0, 1),
+                 0, 0, 1, 0,
+                 0, u(1, 0), 0, u(1, 1)});
+}
+
+/// Controlled-U with the control on the matrix MSB (basis index c<<1 | t).
+Matrix controlled_on_msb(const Matrix& u) {
+  return Matrix(4, 4,
+                {1, 0, 0, 0,
+                 0, 1, 0, 0,
+                 0, 0, u(0, 0), u(0, 1),
+                 0, 0, u(1, 0), u(1, 1)});
+}
+
+bool bytes_equal(std::span<const cplx> a, std::span<const cplx> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Layout / alignment (satellite: aligned amplitude storage)
+// ---------------------------------------------------------------------------
+
+TEST(KernelLayout, AlignedVectorIs64ByteAligned) {
+  for (std::size_t count : {1u, 3u, 64u, 1000u}) {
+    AlignedVector<cplx> v(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  }
+  StateVector sv(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(sv.amplitudes().data()) % 64, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+TEST(KernelClassify, StructuredGatesLandOnTheirFastPath) {
+  const std::vector<unsigned> q1{3};
+  const std::vector<unsigned> q2{1, 4};
+  EXPECT_EQ(kernels::prepare_gate(gates::I(), q1).cls, GateClass::kIdentity);
+  EXPECT_EQ(kernels::prepare_gate(gates::Z(), q1).cls, GateClass::kDiag1);
+  EXPECT_EQ(kernels::prepare_gate(gates::S(), q1).cls, GateClass::kDiag1);
+  EXPECT_EQ(kernels::prepare_gate(gates::RZ(0.37), q1).cls, GateClass::kDiag1);
+  EXPECT_EQ(kernels::prepare_gate(gates::X(), q1).cls, GateClass::kPerm1);
+  EXPECT_EQ(kernels::prepare_gate(gates::Y(), q1).cls, GateClass::kPerm1);
+  EXPECT_EQ(kernels::prepare_gate(gates::H(), q1).cls, GateClass::kGeneral1);
+  EXPECT_EQ(kernels::prepare_gate(gates::CZ(), q2).cls, GateClass::kDiag2);
+  EXPECT_EQ(kernels::prepare_gate(gates::SWAP(), q2).cls, GateClass::kPerm2);
+  EXPECT_EQ(kernels::prepare_gate(gates::ISWAP(), q2).cls, GateClass::kPerm2);
+  EXPECT_EQ(kernels::prepare_gate(random_dense(1, 7), q1).cls,
+            GateClass::kGeneral1);
+  EXPECT_EQ(kernels::prepare_gate(random_dense(2, 8), q2).cls,
+            GateClass::kGeneral2);
+}
+
+TEST(KernelClassify, ControlledGatesRecoverControlAndTarget) {
+  const std::vector<unsigned> q{2, 5};
+  // gates::CX() lists the control first, i.e. on the matrix LSB.
+  const PreparedGate cx = kernels::prepare_gate(gates::CX(), q);
+  ASSERT_EQ(cx.cls, GateClass::kCtrl1);
+  EXPECT_EQ(cx.q[0], 2u);  // control
+  EXPECT_EQ(cx.q[1], 5u);  // target
+  // The mirrored layout (control on the matrix MSB) must swap the roles.
+  const Matrix u = random_dense(1, 11);
+  const PreparedGate crev = kernels::prepare_gate(controlled_on_msb(u), q);
+  ASSERT_EQ(crev.cls, GateClass::kCtrl1);
+  EXPECT_EQ(crev.q[0], 5u);  // control
+  EXPECT_EQ(crev.q[1], 2u);  // target
+  const PreparedGate cfwd = kernels::prepare_gate(controlled_on_lsb(u), q);
+  ASSERT_EQ(cfwd.cls, GateClass::kCtrl1);
+  EXPECT_EQ(cfwd.q[0], 2u);
+  EXPECT_EQ(cfwd.q[1], 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-ISA bit parity
+// ---------------------------------------------------------------------------
+
+/// Apply `m` on `qubits` with every available kernel set and require byte
+/// equality with the scalar reference, for every state size in `sizes`.
+void expect_parity(const Matrix& m, std::vector<unsigned> qubits,
+                   std::span<const unsigned> sizes, std::uint64_t seed) {
+  for (unsigned n : sizes) {
+    bool fits = true;
+    for (unsigned q : qubits) fits = fits && q < n;
+    if (!fits) continue;
+    const AlignedVector<cplx> init = random_state(n, seed + n);
+    AlignedVector<cplx> ref = init;
+    kernels::apply_gate(kernels::scalar_kernel_set(), ref.data(), ref.size(),
+                        m, qubits);
+    for (const kernels::KernelSet* set : kernels::available_sets()) {
+      AlignedVector<cplx> got = init;
+      kernels::apply_gate(*set, got.data(), got.size(), m, qubits);
+      EXPECT_TRUE(bytes_equal(ref, got))
+          << "set=" << set->name << " n=" << n << " q0=" << qubits[0]
+          << (qubits.size() > 1 ? " q1=" + std::to_string(qubits[1]) : "");
+    }
+  }
+}
+
+TEST(KernelParity, OneQubitGatesAcrossStridesAndSets) {
+  const unsigned sizes[] = {1, 2, 6, 12};
+  const Matrix shapes[] = {gates::S(), gates::X(), gates::H(),
+                           random_dense(1, 3)};
+  std::uint64_t seed = 100;
+  for (const Matrix& m : shapes)
+    for (unsigned q : {0u, 1u, 3u, 5u, 11u})  // low / mid / high strides
+      expect_parity(m, {q}, sizes, seed += 17);
+}
+
+TEST(KernelParity, TwoQubitGatesAcrossStridesAndSets) {
+  const unsigned sizes[] = {2, 6, 12};
+  const Matrix u = random_dense(1, 5);
+  const Matrix shapes[] = {gates::CZ(),          gates::SWAP(),
+                           gates::ISWAP(),       gates::CX(),
+                           controlled_on_lsb(u), controlled_on_msb(u),
+                           random_dense(2, 6)};
+  const std::vector<std::vector<unsigned>> positions = {
+      {0, 1}, {1, 0},  {0, 5},  {5, 0}, {3, 4},
+      {0, 11}, {11, 0}, {10, 11}, {5, 11}};
+  std::uint64_t seed = 5000;
+  for (const Matrix& m : shapes)
+    for (const std::vector<unsigned>& q : positions)
+      expect_parity(m, q, sizes, seed += 29);
+}
+
+/// The classified fast paths (diag/perm/ctrl) must agree with the dense
+/// general kernel in value. Exact-zero matrix entries may flip the sign of
+/// a zero (0*x summed vs skipped), which `==` on doubles tolerates —
+/// classification happens above ISA dispatch, so this cannot break
+/// cross-kernel byte parity.
+TEST(KernelParity, ClassifiedPathsMatchDenseValues) {
+  const unsigned n = 8;
+  const Matrix shapes[] = {gates::S(),  gates::X(),     gates::CZ(),
+                           gates::CX(), gates::ISWAP(), controlled_on_msb(
+                                                            random_dense(1, 9))};
+  for (const Matrix& m : shapes) {
+    const unsigned arity = m.rows() == 2 ? 1 : 2;
+    const std::vector<unsigned> qubits =
+        arity == 1 ? std::vector<unsigned>{3} : std::vector<unsigned>{3, 6};
+    const AlignedVector<cplx> init = random_state(n, 77);
+    AlignedVector<cplx> fast = init;
+    kernels::apply_gate(kernels::scalar_kernel_set(), fast.data(), fast.size(),
+                        m, qubits);
+    PreparedGate dense;
+    dense.cls = arity == 1 ? GateClass::kGeneral1 : GateClass::kGeneral2;
+    dense.arity = static_cast<std::uint8_t>(arity);
+    dense.q = {qubits[0], arity == 2 ? qubits[1] : 0};
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      for (std::size_t c = 0; c < m.cols(); ++c)
+        dense.m[r * m.cols() + c] = m(r, c);
+    AlignedVector<cplx> ref = init;
+    kernels::apply_prepared(kernels::scalar_kernel_set(), ref.data(),
+                            ref.size(), dense);
+    for (std::uint64_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(fast[i].real(), ref[i].real()) << i;
+      EXPECT_EQ(fast[i].imag(), ref[i].imag()) << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched prepared runs
+// ---------------------------------------------------------------------------
+
+/// A mixed-class gate program on `n` qubits (diag, perm, ctrl, general,
+/// reversed qubit orders) as (matrix, qubits) pairs.
+std::vector<std::pair<Matrix, std::vector<unsigned>>> mixed_program(unsigned n) {
+  std::vector<std::pair<Matrix, std::vector<unsigned>>> ops;
+  ops.emplace_back(gates::H(), std::vector<unsigned>{0});
+  for (unsigned q = 0; q + 1 < n; ++q)
+    ops.emplace_back(gates::CX(), std::vector<unsigned>{q, q + 1});
+  ops.emplace_back(gates::S(), std::vector<unsigned>{n - 1});
+  ops.emplace_back(gates::CZ(), std::vector<unsigned>{0, n - 1});
+  ops.emplace_back(gates::SWAP(), std::vector<unsigned>{1, n - 2});
+  ops.emplace_back(random_dense(1, 21), std::vector<unsigned>{n / 2});
+  ops.emplace_back(random_dense(2, 22), std::vector<unsigned>{n - 1, 2});
+  ops.emplace_back(gates::X(), std::vector<unsigned>{1});
+  return ops;
+}
+
+TEST(KernelBatched, StateVectorPreparedRunEqualsOpByOp) {
+  const unsigned n = 9;
+  const auto ops = mixed_program(n);
+  StateVector one_by_one(n);
+  StateVector batched(n);
+  std::vector<PreparedGate> run;
+  for (const auto& [m, qubits] : ops) {
+    one_by_one.apply_gate(m, qubits);
+    run.push_back(kernels::prepare_gate(m, qubits));
+  }
+  batched.apply_prepared_gates(run);
+  EXPECT_TRUE(bytes_equal(one_by_one.amplitudes(), batched.amplitudes()));
+}
+
+TEST(KernelBatched, DensityMatrixPreparedRunEqualsOpByOp) {
+  const unsigned n = 4;
+  const auto ops = mixed_program(n);
+  DensityMatrix one_by_one(n);
+  DensityMatrix batched(n);
+  std::vector<PreparedGate> run;
+  for (const auto& [m, qubits] : ops) {
+    one_by_one.apply_gate(m, qubits);
+    run.push_back(kernels::prepare_gate(m, qubits));
+  }
+  batched.apply_prepared_gates(run);
+  const std::uint64_t dim = std::uint64_t{1} << n;
+  for (std::uint64_t r = 0; r < dim; ++r)
+    for (std::uint64_t c = 0; c < dim; ++c) {
+      EXPECT_EQ(one_by_one.element(r, c).real(), batched.element(r, c).real());
+      EXPECT_EQ(one_by_one.element(r, c).imag(), batched.element(r, c).imag());
+    }
+}
+
+TEST(KernelBatched, ExecPlanCoversEveryBarrierFreeGateStretch) {
+  Circuit c(5);
+  c.h(0);
+  for (unsigned q = 0; q + 1 < 5; ++q) c.cx(q, q + 1);
+  c.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(0.01));
+  const ExecPlan plan = build_exec_plan(noise.apply(c), /*fuse_gates=*/true);
+  // Every 1-/2-qubit gate step must be covered by exactly one prepared run,
+  // and each run must start where run_at_step says it does.
+  std::size_t covered = 0;
+  for (const ExecPlan::PreparedRun& run : plan.prepared_runs) {
+    EXPECT_EQ(plan.run_starting_at(run.first_step),
+              plan.run_at_step[run.first_step]);
+    for (std::size_t i = 0; i < run.gates.size(); ++i) {
+      const PlanStep& step = plan.steps[run.first_step + i];
+      ASSERT_TRUE(step.is_gate);
+      ASSERT_LE(step.qubits.size(), 2u);
+      ++covered;
+    }
+  }
+  std::size_t small_gate_steps = 0;
+  for (const PlanStep& step : plan.steps)
+    if (step.is_gate && step.qubits.size() <= 2) ++small_gate_steps;
+  EXPECT_EQ(covered, small_gate_steps);
+  EXPECT_GT(covered, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry / dispatch
+// ---------------------------------------------------------------------------
+
+TEST(KernelRegistry, ScalarFirstAndAlwaysAvailable) {
+  ASSERT_FALSE(kernels::available_sets().empty());
+  EXPECT_STREQ(kernels::available_sets().front()->name, "scalar");
+  EXPECT_FALSE(kernels::describe_dispatch().empty());
+}
+
+TEST(KernelRegistry, UnknownOrUnsupportedNameThrows) {
+  KernelGuard guard;
+  EXPECT_THROW(kernels::set_active("bogus"), precondition_error);
+  // A rejected override must leave the active set usable.
+  kernels::set_active("scalar");
+  EXPECT_STREQ(kernels::active().name, "scalar");
+  kernels::set_active("auto");
+  EXPECT_STREQ(kernels::active().name, kernels::best_available_set().name);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism across kernel selections
+// ---------------------------------------------------------------------------
+
+TEST(KernelDeterminism, TrajectoryResultsIdenticalAcrossKernelSelections) {
+  KernelGuard guard;
+  Circuit c(6);
+  c.h(0);
+  for (unsigned q = 0; q + 1 < 6; ++q) c.cx(q, q + 1);
+  c.measure_all();
+  NoiseModel noise;
+  noise.add_all_gate_noise(channels::depolarizing(0.02));
+  const NoisyCircuit noisy = noise.apply(c);
+  RngStream rng(41);
+  pts::Options opt;
+  opt.nsamples = 150;
+  opt.nshots = 30;
+  const auto specs = pts::sample_probabilistic(noisy, opt, rng);
+  ASSERT_FALSE(specs.empty());
+
+  auto run_with = [&](const char* kernel, be::Schedule schedule) {
+    kernels::set_active(kernel);
+    be::Options options;
+    options.backend = "statevector";
+    options.schedule = schedule;
+    options.config.fuse_gates = true;
+    return be::execute(noisy, specs, options);
+  };
+  for (be::Schedule schedule :
+       {be::Schedule::kIndependent, be::Schedule::kSharedPrefix}) {
+    const be::Result ref = run_with("scalar", schedule);
+    for (const kernels::KernelSet* set : kernels::available_sets()) {
+      const be::Result got = run_with(set->name, schedule);
+      ASSERT_EQ(ref.batches.size(), got.batches.size());
+      for (std::size_t i = 0; i < ref.batches.size(); ++i) {
+        EXPECT_EQ(ref.batches[i].records, got.batches[i].records)
+            << "kernel=" << set->name << " spec " << i;
+        EXPECT_EQ(ref.batches[i].realized_probability,
+                  got.batches[i].realized_probability)
+            << "kernel=" << set->name << " spec " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptsbe

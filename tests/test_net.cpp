@@ -685,7 +685,14 @@ TEST(NetLoopback, TenantQuotaRejectsWithQuotaCode) {
     net::Client client(client_for(server));
     heavy_run = client.submit(heavy);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  // Submit the moment the heavy job is observed holding alice's quota slot —
+  // a fixed sleep would race against how fast the kernels burn through it.
+  for (;;) {
+    const serve::EngineStats running = server.stats();
+    const auto it = running.tenants.find("alice");
+    if (it != running.tenants.end() && it->second.outstanding >= 1) break;
+    std::this_thread::yield();
+  }
 
   net::Client client(client_for(server));
   serve::JobRequest second = ghz_request(4);
