@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# format-check.sh — verify that the lines *changed* relative to a base ref
+# conform to .clang-format. Deliberately changed-lines-only: the tree was
+# never bulk-reformatted, and a whole-file check would demand churn that
+# poisons blame and conflicts with stacked PRs.
+#
+# Usage: scripts/format-check.sh [base-ref]     (default: origin/main, then
+#        falling back to HEAD~1 when the remote ref does not exist)
+#
+# Exits 0 when clean or when clang-format is not installed (prints a notice
+# so local gcc-only boxes are not blocked); exits 1 with a diff when changed
+# lines are misformatted.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+GIT_CLANG_FORMAT="$(command -v git-clang-format || true)"
+CLANG_FORMAT="$(command -v clang-format || true)"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for v in 18 17 16 15 14; do
+    if command -v "clang-format-${v}" >/dev/null 2>&1; then
+      CLANG_FORMAT="$(command -v clang-format-${v})"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "format-check: clang-format not installed; skipping (CI enforces it)"
+  exit 0
+fi
+
+BASE="${1:-}"
+if [[ -z "${BASE}" ]]; then
+  if git rev-parse --verify --quiet origin/main >/dev/null; then
+    BASE=origin/main
+  else
+    BASE=HEAD~1
+  fi
+fi
+
+if [[ -n "${GIT_CLANG_FORMAT}" ]]; then
+  # git-clang-format reformats only lines touched since BASE; --diff prints
+  # what it would change without writing.
+  OUT="$("${GIT_CLANG_FORMAT}" --binary "${CLANG_FORMAT}" --diff "${BASE}" -- \
+         '*.cpp' '*.hpp' 2>/dev/null || true)"
+  if [[ -n "${OUT}" && "${OUT}" != *"no modified files to format"* && \
+        "${OUT}" != *"did not modify any files"* ]]; then
+    echo "${OUT}"
+    echo
+    echo "format-check: changed lines deviate from .clang-format" >&2
+    echo "fix with: git-clang-format ${BASE}" >&2
+    exit 1
+  fi
+  echo "format-check: changed lines are clean (base ${BASE})"
+  exit 0
+fi
+
+echo "format-check: git-clang-format not installed; skipping (CI enforces it)"
+exit 0

@@ -11,6 +11,7 @@
 /// operate on. This mirrors the paper's Fig. 2: the coherent skeleton is
 /// deterministic; noise sites are attached per gate.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

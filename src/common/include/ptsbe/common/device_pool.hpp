@@ -16,14 +16,41 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ptsbe/common/error.hpp"
+#include "ptsbe/common/thread_annotations.hpp"
 
 namespace ptsbe {
+
+namespace detail {
+
+/// First-error capture shared by a batch of device threads. Annotated as a
+/// standalone type because thread-safety attributes attach to members, not
+/// to locals inside `run_batch`.
+class FirstError {
+ public:
+  /// Record `error` if no earlier job failed (first one wins).
+  void record(std::exception_ptr error) PTSBE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (!error_) error_ = std::move(error);
+  }
+
+  /// The captured error (null when every job succeeded). Call after the
+  /// device threads are joined.
+  [[nodiscard]] std::exception_ptr take() PTSBE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return std::move(error_);
+  }
+
+ private:
+  Mutex mutex_;
+  std::exception_ptr error_ PTSBE_GUARDED_BY(mutex_);
+};
+
+}  // namespace detail
 
 /// Pool of simulated devices for inter-trajectory parallelism.
 class DevicePool {
@@ -49,8 +76,7 @@ class DevicePool {
       return;
     }
     std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    detail::FirstError first_error;
     std::vector<std::thread> devices;
     devices.reserve(num_devices_);
     for (std::size_t d = 0; d < num_devices_; ++d) {
@@ -61,14 +87,14 @@ class DevicePool {
           try {
             job(d, i);
           } catch (...) {
-            std::lock_guard lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            first_error.record(std::current_exception());
           }
         }
       });
     }
     for (auto& t : devices) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    if (std::exception_ptr error = first_error.take())
+      std::rethrow_exception(error);
   }
 
  private:

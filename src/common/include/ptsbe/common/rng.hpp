@@ -11,6 +11,7 @@
 /// own reproducible randomness regardless of which worker executes it.
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file thread_annotations.hpp
+/// \brief Clang thread-safety annotations + the annotated `Mutex`/`MutexLock`
+/// pair every locked subsystem uses.
+///
+/// Locking invariants in this codebase are *compile-time contracts*, not
+/// comments: every mutex-guarded member is declared `PTSBE_GUARDED_BY(mu)`,
+/// every "caller holds the lock" helper is declared `PTSBE_REQUIRES(mu)`,
+/// and the clang rows of CI build with `-Wthread-safety
+/// -Wthread-safety-beta` promoted to errors (`PTSBE_WERROR`), so a future
+/// PR that touches locked state without the right lock fails to compile
+/// instead of waiting for tsan to get lucky. On gcc (which has no
+/// thread-safety analysis) every macro expands to nothing and `Mutex` /
+/// `MutexLock` behave exactly like `std::mutex` / `std::scoped_lock`.
+///
+/// Conventions (see docs/architecture.md "Static analysis & concurrency
+/// contracts" for the full lock hierarchy):
+///  - Prefer `MutexLock lock(mu_);` over raw lock()/unlock() pairs.
+///  - Condition waits go through `MutexLock::native()` in an explicit
+///    `while (!pred) cv.wait(lock.native());` loop — predicate lambdas are
+///    analysed as separate functions and would not see the held capability.
+///  - `PTSBE_NO_THREAD_SAFETY_ANALYSIS` is a last resort and needs a
+///    comment explaining why the analysis cannot model the pattern.
+
+#include <mutex>
+
+// Attributes are a clang extension; they compile away everywhere else so
+// gcc builds (and tooling that chokes on unknown attributes) are unaffected.
+#if defined(__clang__) && !defined(SWIG)
+#define PTSBE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PTSBE_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" by convention).
+#define PTSBE_CAPABILITY(x) PTSBE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define PTSBE_SCOPED_CAPABILITY PTSBE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding `x`.
+#define PTSBE_GUARDED_BY(x) PTSBE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee may only be accessed while holding `x` (the pointer itself is
+/// unguarded).
+#define PTSBE_PT_GUARDED_BY(x) PTSBE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (enforced under -Wthread-safety-beta).
+#define PTSBE_ACQUIRED_BEFORE(...) \
+  PTSBE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PTSBE_ACQUIRED_AFTER(...) \
+  PTSBE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the caller to hold the given capabilities.
+#define PTSBE_REQUIRES(...) \
+  PTSBE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PTSBE_REQUIRES_SHARED(...) \
+  PTSBE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the given capabilities (RAII and lock/unlock
+/// methods).
+#define PTSBE_ACQUIRE(...) \
+  PTSBE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PTSBE_RELEASE(...) \
+  PTSBE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PTSBE_TRY_ACQUIRE(...) \
+  PTSBE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the given capabilities held (deadlock
+/// prevention: it acquires them itself).
+#define PTSBE_EXCLUDES(...) PTSBE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define PTSBE_ASSERT_CAPABILITY(x) \
+  PTSBE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define PTSBE_RETURN_CAPABILITY(x) PTSBE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the analysis is wrong or cannot model this function.
+/// Always pair with a comment saying why.
+#define PTSBE_NO_THREAD_SAFETY_ANALYSIS \
+  PTSBE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ptsbe {
+
+class MutexLock;
+
+/// `std::mutex` carrying the capability attribute the analysis needs.
+/// Zero-overhead: everything is a forwarding inline call.
+class PTSBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PTSBE_ACQUIRE() { mutex_.lock(); }
+  void unlock() PTSBE_RELEASE() { mutex_.unlock(); }
+  bool try_lock() PTSBE_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII critical section over a `Mutex`, usable with
+/// `std::condition_variable` via `native()`. Replaces both
+/// `std::lock_guard` and `std::unique_lock` in annotated code.
+class PTSBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PTSBE_ACQUIRE(mutex)
+      : lock_(mutex.mutex_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() PTSBE_RELEASE() {}
+
+  /// The underlying `unique_lock`, for `std::condition_variable::wait`.
+  /// A wait re-acquires before returning, so the capability is held at
+  /// every point the analysis can observe — use the explicit
+  /// `while (!pred) cv.wait(lock.native());` form (see file comment).
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace ptsbe

@@ -14,9 +14,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "ptsbe/common/thread_annotations.hpp"
 
 namespace ptsbe {
 
@@ -43,7 +44,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -54,9 +55,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task for asynchronous execution.
-  void submit(std::function<void()> task) {
+  void submit(std::function<void()> task) PTSBE_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.push_back(std::move(task));
       ++pending_;
     }
@@ -64,37 +65,37 @@ class ThreadPool {
   }
 
   /// Block until every task submitted so far has finished.
-  void wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  void wait_idle() PTSBE_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (pending_ != 0) idle_cv_.wait(lock.native());
   }
 
  private:
-  void worker_loop() {
+  void worker_loop() PTSBE_EXCLUDES(mutex_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mutex_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mutex_);
+        while (!stopping_ && queue_.empty()) cv_.wait(lock.native());
         if (stopping_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
       }
       task();
       {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         if (--pending_ == 0) idle_cv_.notify_all();
       }
     }
   }
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ PTSBE_GUARDED_BY(mutex_);
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::size_t pending_ = 0;
-  bool stopping_ = false;
+  std::size_t pending_ PTSBE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PTSBE_GUARDED_BY(mutex_) = false;
 };
 
 /// Run `body(i)` for i in [begin, end) across `pool`, chunked so each worker

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "ptsbe/common/error.hpp"
+#include "ptsbe/common/thread_annotations.hpp"
 #include "ptsbe/common/timer.hpp"
 #include "ptsbe/densmat/density_matrix.hpp"
 #include "ptsbe/stabilizer/pauli_frame.hpp"
@@ -322,8 +322,8 @@ class StabilizerBackend final : public Backend {
 // ---------------------------------------------------------------------------
 
 struct BackendRegistry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, BackendFactory> factories;
+  mutable Mutex mutex;
+  std::map<std::string, BackendFactory> factories PTSBE_GUARDED_BY(mutex);
 };
 
 BackendRegistry::BackendRegistry() : impl_(std::make_shared<Impl>()) {
@@ -353,14 +353,14 @@ void BackendRegistry::register_backend(const std::string& name,
                                        BackendFactory factory) {
   PTSBE_REQUIRE(!name.empty(), "backend name must be non-empty");
   PTSBE_REQUIRE(static_cast<bool>(factory), "backend factory must be callable");
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const bool inserted =
       impl_->factories.emplace(name, std::move(factory)).second;
   PTSBE_REQUIRE(inserted, "backend name already registered: " + name);
 }
 
 bool BackendRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->factories.count(name) != 0;
 }
 
@@ -368,7 +368,7 @@ BackendPtr BackendRegistry::make(const std::string& name,
                                  const BackendConfig& config) const {
   BackendFactory factory;
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     const auto it = impl_->factories.find(name);
     if (it != impl_->factories.end()) factory = it->second;
   }
@@ -382,7 +382,7 @@ BackendPtr BackendRegistry::make(const std::string& name,
 }
 
 std::vector<std::string> BackendRegistry::names() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::string> out;
   out.reserve(impl_->factories.size());
   for (const auto& [name, factory] : impl_->factories) out.push_back(name);

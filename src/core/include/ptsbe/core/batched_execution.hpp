@@ -15,6 +15,7 @@
 /// Error provenance — the spec's branch list — rides along as metadata on
 /// every batch (the paper's third bullet).
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

@@ -12,6 +12,7 @@
 ///  - binary — compact columnar blocks, one per trajectory batch, suitable
 ///    for the trillion-shot-scale corpora the paper reports.
 
+#include <cstdint>
 #include <fstream>
 #include <string>
 #include <vector>

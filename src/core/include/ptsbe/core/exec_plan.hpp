@@ -19,6 +19,7 @@
 /// probabilities and sampled records are bit-for-bit identical.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ptsbe/core/sim_state.hpp"

@@ -29,8 +29,10 @@
 /// low-level layer for callers that need to post-process specs between the
 /// stages.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 

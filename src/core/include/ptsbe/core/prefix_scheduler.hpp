@@ -35,6 +35,7 @@
 /// live-snapshot count tracks (fork depth + stolen subtrees), not the whole
 /// frontier.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>

@@ -23,9 +23,11 @@
 /// the same time) holds by construction here: a noise site is a unique
 /// program location, and a spec assigns exactly one branch per site.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ptsbe/common/rng.hpp"

@@ -25,6 +25,7 @@
 /// and the original must evolve through identical floating-point
 /// trajectories, which is what makes records thread-count-invariant.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>

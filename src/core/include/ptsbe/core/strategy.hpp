@@ -26,6 +26,8 @@
 ///   - "correlated"     spatially correlated bursts
 ///                      (boost × radius)                    → kProbabilityWeighted
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>

@@ -42,14 +42,15 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "ptsbe/common/thread_annotations.hpp"
 #include "ptsbe/core/batched_execution.hpp"
 
 namespace ptsbe::be {
@@ -161,8 +162,8 @@ class TrajectoryExecutor {
   /// touch it for nanoseconds compared to a state preparation, so a
   /// Chase-Lev structure would buy nothing here.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<WorkerTask> tasks;
+    Mutex mutex;
+    std::deque<WorkerTask> tasks PTSBE_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t self);
@@ -192,8 +193,8 @@ class TrajectoryExecutor {
   /// batches — the futex emit() waits on under backpressure.
   std::atomic<std::uint64_t> drained_epoch_{0};
 
-  std::mutex error_mutex_;
-  std::exception_ptr task_error_;
+  Mutex error_mutex_;
+  std::exception_ptr task_error_ PTSBE_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace ptsbe::be

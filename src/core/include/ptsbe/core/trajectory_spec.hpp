@@ -11,6 +11,7 @@
 /// error-provenance metadata the paper's third bullet promises: every shot
 /// in a batch inherits its spec's branch list as a training label.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>

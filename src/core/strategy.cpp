@@ -1,11 +1,11 @@
 #include "ptsbe/core/strategy.hpp"
 
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "ptsbe/common/error.hpp"
+#include "ptsbe/common/thread_annotations.hpp"
 
 namespace ptsbe::pts {
 
@@ -134,8 +134,8 @@ class CorrelatedStrategy final : public NamedStrategy {
 // ---------------------------------------------------------------------------
 
 struct StrategyRegistry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, StrategyFactory> factories;
+  mutable Mutex mutex;
+  std::map<std::string, StrategyFactory> factories PTSBE_GUARDED_BY(mutex);
 };
 
 StrategyRegistry::StrategyRegistry() : impl_(std::make_shared<Impl>()) {
@@ -167,21 +167,21 @@ void StrategyRegistry::register_strategy(const std::string& name,
   PTSBE_REQUIRE(!name.empty(), "strategy name must be non-empty");
   PTSBE_REQUIRE(static_cast<bool>(factory),
                 "strategy factory must be callable");
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const bool inserted =
       impl_->factories.emplace(name, std::move(factory)).second;
   PTSBE_REQUIRE(inserted, "strategy name already registered: " + name);
 }
 
 bool StrategyRegistry::contains(const std::string& name) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->factories.count(name) != 0;
 }
 
 StrategyPtr StrategyRegistry::make(const std::string& name) const {
   StrategyFactory factory;
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     const auto it = impl_->factories.find(name);
     if (it != impl_->factories.end()) factory = it->second;
   }
@@ -195,7 +195,7 @@ StrategyPtr StrategyRegistry::make(const std::string& name) const {
 }
 
 std::vector<std::string> StrategyRegistry::names() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::string> out;
   out.reserve(impl_->factories.size());
   for (const auto& [name, factory] : impl_->factories) out.push_back(name);

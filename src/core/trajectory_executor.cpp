@@ -46,8 +46,9 @@ void TrajectoryExecutor::spawn(WorkerTask task) {
   const std::size_t target = seed_cursor_++ % queues_.size();
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {
-    std::lock_guard lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
+    WorkerQueue& queue = *queues_[target];
+    MutexLock lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
   }
   bump_events();
 }
@@ -57,8 +58,9 @@ void TrajectoryExecutor::spawn_from(std::size_t worker, WorkerTask task) {
   PTSBE_REQUIRE(worker < queues_.size(), "spawn_from: bad worker id");
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {
-    std::lock_guard lock(queues_[worker]->mutex);
-    queues_[worker]->tasks.push_back(std::move(task));
+    WorkerQueue& queue = *queues_[worker];
+    MutexLock lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
   }
   bump_events();
 }
@@ -94,7 +96,7 @@ void TrajectoryExecutor::cancel() noexcept {
 
 void TrajectoryExecutor::report_error(std::exception_ptr error) noexcept {
   {
-    std::lock_guard lock(error_mutex_);
+    MutexLock lock(error_mutex_);
     if (!task_error_) task_error_ = std::move(error);
   }
   cancel();
@@ -111,7 +113,7 @@ WorkerTask TrajectoryExecutor::try_pop(std::size_t self) {
     // forked, so live state snapshots track the current path, not the
     // whole frontier.
     WorkerQueue& own = *queues_[self];
-    std::lock_guard lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       WorkerTask task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -122,7 +124,7 @@ WorkerTask TrajectoryExecutor::try_pop(std::size_t self) {
   // biggest chunk of work available.
   for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
     WorkerQueue& victim = *queues_[(self + offset) % queues_.size()];
-    std::lock_guard lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       WorkerTask task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -222,7 +224,7 @@ void TrajectoryExecutor::drain(
     drain_completed(deliver, delivery_error);
   }
   if (delivery_error) std::rethrow_exception(delivery_error);
-  std::lock_guard lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   if (task_error_) std::rethrow_exception(task_error_);
 }
 

@@ -9,8 +9,10 @@
 /// baseline and PTSBE) must statistically converge to — the core validation
 /// of the whole repository. Practical up to ~10 qubits.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ptsbe/circuit/circuit.hpp"

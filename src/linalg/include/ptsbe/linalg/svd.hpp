@@ -11,6 +11,7 @@
 /// singular values to high relative accuracy — exactly what truncation
 /// decisions need.
 
+#include <cstddef>
 #include <vector>
 
 #include "ptsbe/linalg/matrix.hpp"

@@ -12,6 +12,7 @@
 /// `Pipeline::run` (timings excepted: wall-clock splits are measured, not
 /// computed, and are not transported).
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>

@@ -43,6 +43,7 @@
 /// loopback determinism matrix pins served bytes to standalone
 /// `Pipeline::run`.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>

@@ -23,13 +23,14 @@
 /// job before joining the threads — no truncated result streams.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "ptsbe/common/thread_annotations.hpp"
 #include "ptsbe/net/protocol.hpp"
 #include "ptsbe/serve/engine.hpp"
 
@@ -100,15 +101,20 @@ class Server {
   int wake_pipe_[2] = {-1, -1};  ///< Self-pipe to interrupt poll() in stop.
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mutex_;  ///< Serialises stop() callers.
-  bool stopped_ = false;   ///< Guarded by stop_mutex_.
+  /// Serialises stop() callers. Held across the whole teardown (engine
+  /// drain + thread joins) — the threads being joined never take it, and
+  /// conns_mutex_ below is acquired under it (stop_mutex_ → conns_mutex_).
+  Mutex stop_mutex_;
+  bool stopped_ PTSBE_GUARDED_BY(stop_mutex_) = false;
 
   struct Connection {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
   };
-  std::mutex conns_mutex_;
-  std::list<Connection> conns_;
+  /// Leaf lock: guards the connection registry only, never held while
+  /// joining a thread or writing a socket.
+  Mutex conns_mutex_;
+  std::list<Connection> conns_ PTSBE_GUARDED_BY(conns_mutex_);
 
   std::thread accept_thread_;
 };

@@ -18,6 +18,7 @@
 /// the first node clockwise. Adding or removing one shard remaps only
 /// ~1/N of the keyspace — no full fleet reshuffle on scale-out.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -91,7 +91,7 @@ void Server::begin_drain() { draining_.store(true); }
 bool Server::draining() const noexcept { return draining_.load(); }
 
 void Server::stop() {
-  std::lock_guard<std::mutex> lock(stop_mutex_);
+  MutexLock lock(stop_mutex_);
   if (stopped_) return;
   stopped_ = true;
 
@@ -117,7 +117,7 @@ void Server::stop() {
 void Server::reap_connections(bool join_all) {
   std::list<Connection> finished;
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    MutexLock lock(conns_mutex_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if (join_all || it->done->load()) {
         finished.splice(finished.end(), conns_, it++);
@@ -153,7 +153,7 @@ void Server::accept_loop() {
       serve_connection(fd);
       done->store(true);
     });
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    MutexLock lock(conns_mutex_);
     conns_.push_back(Connection{std::move(thread), std::move(done)});
   }
 }

@@ -13,6 +13,7 @@
 /// maximally mixed input, tr(K_i†K_i)/d) and Batched Execution records the
 /// realised probability as importance metadata.
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

@@ -11,8 +11,10 @@
 /// partitions and Algorithm 2 samples over. A full assignment of one branch
 /// per site is a *trajectory*.
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 

@@ -16,6 +16,7 @@
 ///  - `msd_preparation_circuit(code)` — just the five encoded magic states
 ///    (the 85-qubit tensor-network workload of the paper's Fig. 5).
 
+#include <cstddef>
 #include <cstdint>
 
 #include "ptsbe/circuit/circuit.hpp"

@@ -20,6 +20,7 @@
 ///  - `run_memory_point` — one threshold-sweep point end to end: workload →
 ///    pipeline (streaming) → decoded `LogicalErrorPoint`.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

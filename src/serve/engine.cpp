@@ -25,11 +25,16 @@ struct Counters {
   std::atomic<std::uint64_t> cancelled{0};
   std::atomic<std::uint64_t> rejected{0};
 
-  std::mutex tenants_mutex;
-  std::map<std::string, TenantStats> tenants;
+  /// Innermost lock of the serve hierarchy (engine mutex_ ->
+  /// JobState::mutex -> tenants_mutex): held only for counter updates,
+  /// never while calling out.
+  Mutex tenants_mutex;
+  std::map<std::string, TenantStats> tenants PTSBE_GUARDED_BY(tenants_mutex);
 
-  /// Caller holds tenants_mutex.
-  TenantStats& tenant_locked(const std::string& name) { return tenants[name]; }
+  TenantStats& tenant_locked(const std::string& name)
+      PTSBE_REQUIRES(tenants_mutex) {
+    return tenants[name];
+  }
 };
 
 /// Shared state behind one JobHandle. Transitions are guarded by `mutex`;
@@ -43,16 +48,20 @@ struct JobState {
   bool cache_hit = false;
   std::shared_ptr<Counters> counters;
 
-  mutable std::mutex mutex;
+  /// Middle tier of the serve hierarchy: may be acquired under the engine
+  /// mutex_, and tenants_mutex may be acquired under it — never the
+  /// reverse.
+  mutable Mutex mutex;
   mutable std::condition_variable cv;
-  JobStatus status = JobStatus::kQueued;
-  RejectReason reject_reason = RejectReason::kNone;
-  std::string error;
-  RunResult result;
+  JobStatus status PTSBE_GUARDED_BY(mutex) = JobStatus::kQueued;
+  RejectReason reject_reason PTSBE_GUARDED_BY(mutex) = RejectReason::kNone;
+  std::string error PTSBE_GUARDED_BY(mutex);
+  RunResult result PTSBE_GUARDED_BY(mutex);
 
   void finish(JobStatus terminal, std::string message = {},
-              RejectReason reason = RejectReason::kNone) {
-    std::lock_guard lock(mutex);
+              RejectReason reason = RejectReason::kNone)
+      PTSBE_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     status = terminal;
     reject_reason = reason;
     error = std::move(message);
@@ -96,7 +105,7 @@ JobHandle::JobHandle(std::shared_ptr<detail::JobState> state)
 std::uint64_t JobHandle::id() const noexcept { return state_->id; }
 
 JobStatus JobHandle::status() const {
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->status;
 }
 
@@ -106,11 +115,10 @@ bool JobHandle::poll() const {
 }
 
 const RunResult& JobHandle::wait() const {
-  std::unique_lock lock(state_->mutex);
-  state_->cv.wait(lock, [this] {
-    return state_->status != JobStatus::kQueued &&
-           state_->status != JobStatus::kRunning;
-  });
+  MutexLock lock(state_->mutex);
+  while (state_->status == JobStatus::kQueued ||
+         state_->status == JobStatus::kRunning)
+    state_->cv.wait(lock.native());
   if (state_->status != JobStatus::kDone)
     throw runtime_failure("job " + std::to_string(state_->id) + " " +
                           to_string(state_->status) +
@@ -119,7 +127,7 @@ const RunResult& JobHandle::wait() const {
 }
 
 const RunResult& JobHandle::result() const {
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   PTSBE_REQUIRE(state_->status == JobStatus::kDone,
                 "job " + std::to_string(state_->id) + " is " +
                     to_string(state_->status) + ", not done");
@@ -127,24 +135,24 @@ const RunResult& JobHandle::result() const {
 }
 
 std::string JobHandle::error() const {
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->error;
 }
 
 RejectReason JobHandle::reject_reason() const {
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->reject_reason;
 }
 
 bool JobHandle::cancel() {
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   if (state_->status != JobStatus::kQueued) return false;
   state_->status = JobStatus::kCancelled;
   state_->error = "cancelled before execution";
   state_->cv.notify_all();
   state_->counters->cancelled.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard tenants(state_->counters->tenants_mutex);
+    MutexLock tenants(state_->counters->tenants_mutex);
     TenantStats& t =
         state_->counters->tenant_locked(state_->request.tenant);
     ++t.cancelled;
@@ -181,7 +189,7 @@ Engine::~Engine() { shutdown(); }
 
 void Engine::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -190,7 +198,7 @@ void Engine::shutdown() {
 }
 
 bool Engine::draining() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stopping_;
 }
 
@@ -213,7 +221,7 @@ JobHandle Engine::submit(JobRequest request) {
                           const std::string& message) -> JobHandle {
     counters_->rejected.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard tenants(counters_->tenants_mutex);
+      MutexLock tenants(counters_->tenants_mutex);
       ++counters_->tenant_locked(req.tenant).rejected;
     }
     job->finish(JobStatus::kRejected, message, reason);
@@ -222,7 +230,7 @@ JobHandle Engine::submit(JobRequest request) {
   const auto fail = [&](const std::string& message) -> JobHandle {
     counters_->failed.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard tenants(counters_->tenants_mutex);
+      MutexLock tenants(counters_->tenants_mutex);
       ++counters_->tenant_locked(req.tenant).failed;
     }
     job->finish(JobStatus::kFailed, message);
@@ -235,7 +243,7 @@ JobHandle Engine::submit(JobRequest request) {
   // must not evict live plan-cache entries. (Re-checked at enqueue below:
   // concurrent submits that both pass here can still race the last slot.)
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     job->id = next_id_++;
     purge_cancelled_locked();
     if (stopping_)
@@ -250,7 +258,7 @@ JobHandle Engine::submit(JobRequest request) {
       {
         // reject() locks tenants_mutex itself, so the check must not still
         // hold it when rejecting.
-        std::lock_guard tenants(counters_->tenants_mutex);
+        MutexLock tenants(counters_->tenants_mutex);
         over_quota = counters_->tenant_locked(req.tenant).outstanding >= quota;
       }
       if (over_quota)
@@ -304,7 +312,7 @@ JobHandle Engine::submit(JobRequest request) {
   // full queue, an exhausted tenant quota or a stopping engine rejects with
   // status — visible backpressure instead of hidden buffering.
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     purge_cancelled_locked();
     if (stopping_)
       return reject(RejectReason::kShutdown, "engine is shutting down");
@@ -319,7 +327,7 @@ JobHandle Engine::submit(JobRequest request) {
       // racing submits can never both slip under the same quota. The
       // reject itself happens after the guard drops — reject() locks
       // tenants_mutex too.
-      std::lock_guard tenants(counters_->tenants_mutex);
+      MutexLock tenants(counters_->tenants_mutex);
       TenantStats& t = counters_->tenant_locked(req.tenant);
       if (quota > 0 && t.outstanding >= quota) {
         over_quota = true;
@@ -353,7 +361,7 @@ void Engine::purge_cancelled_locked() {
   std::vector<std::string> freed;  // tenants whose slots were reclaimed
   const auto sweep = [&](std::deque<std::shared_ptr<detail::JobState>>& lane) {
     std::erase_if(lane, [&](const std::shared_ptr<detail::JobState>& job) {
-      std::lock_guard job_lock(job->mutex);
+      MutexLock job_lock(job->mutex);
       if (job->status != JobStatus::kCancelled) return false;
       freed.push_back(job->request.tenant);
       return true;
@@ -362,7 +370,7 @@ void Engine::purge_cancelled_locked() {
   sweep(queue_high_);
   sweep(queue_normal_);
   if (!freed.empty()) {
-    std::lock_guard tenants(counters_->tenants_mutex);
+    MutexLock tenants(counters_->tenants_mutex);
     for (const std::string& tenant : freed) {
       TenantStats& t = counters_->tenant_locked(tenant);
       if (t.outstanding > 0) --t.outstanding;
@@ -374,8 +382,8 @@ void Engine::worker_loop() {
   while (true) {
     std::shared_ptr<detail::JobState> job;
     {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || queued_locked() > 0; });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queued_locked() == 0) work_cv_.wait(lock.native());
       if (queued_locked() == 0) return;  // stopping_ and drained
       // High lane first: priority reorders dispatch, never admission.
       std::deque<std::shared_ptr<detail::JobState>>& lane =
@@ -390,11 +398,11 @@ void Engine::worker_loop() {
 void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
   const std::string& tenant = job->request.tenant;
   {
-    std::lock_guard lock(job->mutex);
+    MutexLock lock(job->mutex);
     if (job->status != JobStatus::kQueued) {
       // Cancelled while queued: the tombstone leaves the queue here, so
       // the tenant's admission slot is released now.
-      std::lock_guard tenants(counters_->tenants_mutex);
+      MutexLock tenants(counters_->tenants_mutex);
       TenantStats& t = counters_->tenant_locked(tenant);
       if (t.outstanding > 0) --t.outstanding;
       return;
@@ -402,13 +410,13 @@ void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
     job->status = JobStatus::kRunning;
   }
   {
-    std::lock_guard tenants(counters_->tenants_mutex);
+    MutexLock tenants(counters_->tenants_mutex);
     TenantStats& t = counters_->tenant_locked(tenant);
     if (t.queue_depth > 0) --t.queue_depth;
   }
   // Releases the tenant's outstanding slot and records the terminal state.
   const auto account_terminal = [&](bool done) {
-    std::lock_guard tenants(counters_->tenants_mutex);
+    MutexLock tenants(counters_->tenants_mutex);
     TenantStats& t = counters_->tenant_locked(tenant);
     if (done)
       ++t.completed;
@@ -451,7 +459,7 @@ void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
     counters_->served.fetch_add(1, std::memory_order_relaxed);
     account_terminal(/*done=*/true);
     {
-      std::lock_guard lock(job->mutex);
+      MutexLock lock(job->mutex);
       job->result = std::move(run);
       job->status = JobStatus::kDone;
       job->cv.notify_all();
@@ -473,17 +481,17 @@ EngineStats Engine::stats() const {
   out.plan_cache_hits = plan_cache_.hits();
   out.plan_cache_misses = plan_cache_.misses();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Count live queued jobs only: cancelled tombstones awaiting their
     // purge must not read as backlog to a monitoring client.
     for (const auto* lane : {&queue_high_, &queue_normal_})
       for (const std::shared_ptr<detail::JobState>& job : *lane) {
-        std::lock_guard job_lock(job->mutex);
+        MutexLock job_lock(job->mutex);
         if (job->status == JobStatus::kQueued) ++out.queue_depth;
       }
   }
   {
-    std::lock_guard tenants(counters_->tenants_mutex);
+    MutexLock tenants(counters_->tenants_mutex);
     out.tenants = counters_->tenants;
   }
   return out;

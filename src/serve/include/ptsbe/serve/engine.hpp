@@ -40,15 +40,16 @@
 /// ```
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ptsbe/common/thread_annotations.hpp"
 #include "ptsbe/core/pipeline.hpp"
 #include "ptsbe/serve/plan_cache.hpp"
 
@@ -293,13 +294,15 @@ class Engine {
   [[nodiscard]] bool draining() const;
 
  private:
-  void worker_loop();
-  void execute(const std::shared_ptr<detail::JobState>& job);
+  void worker_loop() PTSBE_EXCLUDES(mutex_);
+  void execute(const std::shared_ptr<detail::JobState>& job)
+      PTSBE_EXCLUDES(mutex_);
   /// Drop cancelled (tombstone) jobs from both lanes so they stop counting
-  /// against admission capacity. Caller holds mutex_.
-  void purge_cancelled_locked();
-  /// Queued jobs across both lanes. Caller holds mutex_.
-  [[nodiscard]] std::size_t queued_locked() const noexcept {
+  /// against admission capacity.
+  void purge_cancelled_locked() PTSBE_REQUIRES(mutex_);
+  /// Queued jobs across both lanes.
+  [[nodiscard]] std::size_t queued_locked() const noexcept
+      PTSBE_REQUIRES(mutex_) {
     return queue_high_.size() + queue_normal_.size();
   }
   /// Effective outstanding-job quota for `tenant` (0 = unlimited).
@@ -308,14 +311,20 @@ class Engine {
   EngineConfig config_;
   PlanCache plan_cache_;
 
-  mutable std::mutex mutex_;
+  /// Engine mutex — the *top* of the serve lock hierarchy
+  /// (engine mutex_ → JobState::mutex → Counters::tenants_mutex; see
+  /// docs/architecture.md). Never acquired while a job or tenant lock is
+  /// held.
+  mutable Mutex mutex_;
   std::condition_variable work_cv_;  ///< Workers sleep here.
   /// Two admission lanes sharing one capacity bound; workers drain
   /// queue_high_ first, FIFO within each lane.
-  std::deque<std::shared_ptr<detail::JobState>> queue_high_;
-  std::deque<std::shared_ptr<detail::JobState>> queue_normal_;
-  bool stopping_ = false;
-  std::uint64_t next_id_ = 0;
+  std::deque<std::shared_ptr<detail::JobState>> queue_high_
+      PTSBE_GUARDED_BY(mutex_);
+  std::deque<std::shared_ptr<detail::JobState>> queue_normal_
+      PTSBE_GUARDED_BY(mutex_);
+  bool stopping_ PTSBE_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_id_ PTSBE_GUARDED_BY(mutex_) = 0;
 
   /// Terminal-state counters live in a block shared with every JobState so
   /// a cancel() racing engine teardown never dereferences the engine.

@@ -22,11 +22,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "ptsbe/common/thread_annotations.hpp"
 #include "ptsbe/core/backend.hpp"
 
 namespace ptsbe::serve {
@@ -46,28 +46,35 @@ class PlanCache {
   explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
   /// Look `key` up; a hit refreshes its LRU position.
-  [[nodiscard]] std::shared_ptr<const ExecPlan> lookup(const std::string& key);
+  [[nodiscard]] std::shared_ptr<const ExecPlan> lookup(const std::string& key)
+      PTSBE_EXCLUDES(mutex_);
 
   /// Insert (or refresh) `plan` under `key`, evicting the least recently
   /// used entry beyond capacity.
-  void insert(const std::string& key, std::shared_ptr<const ExecPlan> plan);
+  void insert(const std::string& key, std::shared_ptr<const ExecPlan> plan)
+      PTSBE_EXCLUDES(mutex_);
 
   /// Entries currently resident.
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const PTSBE_EXCLUDES(mutex_);
 
   /// Hits/misses observed by lookup() since construction.
-  [[nodiscard]] std::uint64_t hits() const;
-  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t hits() const PTSBE_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t misses() const PTSBE_EXCLUDES(mutex_);
 
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const ExecPlan>>;
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< Front = most recently used.
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  /// Leaf lock: nothing else is ever acquired while it is held.
+  mutable Mutex mutex_;
+  /// Front = most recently used. The LRU list/index are the only unordered
+  /// containers in the serve layer; nothing serialized ever iterates them
+  /// (the determinism contract — enforced by ptsbe-lint).
+  std::list<Entry> lru_ PTSBE_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      PTSBE_GUARDED_BY(mutex_);
+  std::uint64_t hits_ PTSBE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ PTSBE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ptsbe::serve

@@ -22,7 +22,7 @@ std::string plan_cache_key(const std::string& circuit_canonical,
 }
 
 std::shared_ptr<const ExecPlan> PlanCache::lookup(const std::string& key) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -36,7 +36,7 @@ std::shared_ptr<const ExecPlan> PlanCache::lookup(const std::string& key) {
 void PlanCache::insert(const std::string& key,
                        std::shared_ptr<const ExecPlan> plan) {
   if (capacity_ == 0) return;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(plan);
@@ -52,17 +52,17 @@ void PlanCache::insert(const std::string& key,
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::uint64_t PlanCache::hits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t PlanCache::misses() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 

@@ -14,6 +14,7 @@
 /// mixture. The MSD workload violates them (magic-state inputs), which is
 /// why PTSBE exists; this sampler is the baseline that defines the frontier.
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>

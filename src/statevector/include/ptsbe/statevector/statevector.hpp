@@ -15,6 +15,7 @@
 ///    polynomial in the shot count m and a single pass over the state, which
 ///    is why batching m shots per prepared trajectory is the paper's win.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>

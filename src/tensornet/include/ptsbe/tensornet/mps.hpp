@@ -17,6 +17,7 @@
 /// for); `sample_one_uncached` deliberately redoes it per shot so the
 /// ablation bench can measure exactly what caching buys.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

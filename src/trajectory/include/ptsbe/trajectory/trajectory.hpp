@@ -12,6 +12,7 @@
 /// and apply K_k/√p_k. The fast path can be disabled to reproduce the
 /// paper's §2.2 feature-(2) ablation.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -763,7 +763,18 @@ TEST(NetLoopback, DrainRejectsNewAdmissionsAndFinishesInFlight) {
     net::Client client(client_for(server));
     heavy_run = client.submit(heavy);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  // Wait until the heavy job is actually running (admitted and dequeued)
+  // instead of sleeping a fixed interval: a fixed sleep is both flaky on a
+  // loaded box (frame not yet arrived) and slow on a fast one.
+  const auto running_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const serve::EngineStats mid = server.stats();
+    if (mid.submitted >= 1 && mid.queue_depth == 0) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), running_deadline)
+        << "heavy job never started running";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
 
   // A connection established before the drain: its SUBMIT must be refused
   // with the *distinct* shutting-down status once draining. The request is

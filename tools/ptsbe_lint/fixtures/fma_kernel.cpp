@@ -1,0 +1,15 @@
+// Lint fixture: FMA inside a kernel TU (mapped as such by the test's
+// LintConfig). Expected findings: 2 × fma-in-kernel-tu.
+#include <cmath>
+
+double fixture_axpy(double a, double x, double y) {
+  return std::fma(a, x, y);  // finding: one rounding instead of two
+}
+
+float fixture_axpy_f(float a, float x, float y) {
+  return fmaf(a, x, y);  // finding: C spelling
+}
+
+// Allowed: separate multiply + add (two roundings, bit-identical across
+// ISAs by construction).
+double fixture_mul_add(double a, double x, double y) { return a * x + y; }

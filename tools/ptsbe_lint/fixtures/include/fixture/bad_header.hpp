@@ -1,0 +1,12 @@
+// Lint fixture: public header that is not self-contained. Expected
+// findings: header-missing-pragma-once, and header-self-contained for
+// std::vector, std::string and std::mutex (none included directly).
+
+namespace fixture {
+
+struct BadHeader {
+  std::vector<std::string> names;
+  std::mutex mutex;
+};
+
+}  // namespace fixture

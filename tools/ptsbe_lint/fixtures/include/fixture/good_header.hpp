@@ -1,0 +1,17 @@
+#pragma once
+
+// Lint fixture: a fully self-contained public header the checks must stay
+// quiet on.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct GoodHeader {
+  std::vector<std::string> names;
+  std::size_t count = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Lint fixture: unordered-container iteration feeding serialized output.
+// Treated as a serialization TU by the test's LintConfig.
+// Expected findings: 2 × unordered-iteration.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct FixtureStats {
+  std::unordered_map<std::string, int> counters;
+};
+
+void fixture_write_stats(std::ostream& os, const FixtureStats& stats) {
+  for (const auto& [name, value] : stats.counters)  // finding: member iter
+    os << name << '=' << value << '\n';
+}
+
+void fixture_write_tags(std::ostream& os) {
+  std::unordered_set<std::string> tags{"a", "b"};
+  for (const std::string& tag : tags)  // finding: local iter
+    os << tag << '\n';
+}
+
+// Allowed: lookup into an unordered container without iterating it.
+int fixture_lookup(const FixtureStats& stats, const std::string& key) {
+  const auto it = stats.counters.find(key);
+  return it == stats.counters.end() ? 0 : it->second;
+}

@@ -1,0 +1,20 @@
+// Lint fixture: every flavour of forbidden nondeterministic randomness.
+// Expected findings: 4 × unseeded-rng.
+#include <cstdlib>
+#include <random>
+
+int fixture_entropy() {
+  std::random_device device;              // finding: hardware entropy
+  std::mt19937_64 engine;                 // finding: default-constructed
+  std::srand(42);                         // finding: C global-state seed
+  return static_cast<int>(device() + engine()) + std::rand();  // finding
+}
+
+// Allowed patterns the check must stay quiet on:
+int fixture_seeded() {
+  std::mt19937_64 engine(0x5EEDULL);  // explicit seed: fine
+  const int operand = 7;              // identifier containing "rand": fine
+  // rand() in a comment: fine
+  const char* text = "calls rand() and std::random_device";  // literal: fine
+  return static_cast<int>(engine()) + operand + (text != nullptr ? 1 : 0);
+}

@@ -1,0 +1,65 @@
+/// \file main.cpp
+/// \brief CLI wrapper for ptsbe-lint (see lint.hpp for the rules).
+///
+/// Usage:
+///   ptsbe_lint [--root DIR] [--report FILE] [--quiet]
+///
+/// Scans the repository at --root (default: current directory), prints each
+/// finding as `file:line: [check] message`, optionally writes the JSON
+/// report to --report, and exits 1 when any finding exists — which is what
+/// makes the CI `static-analysis` job fail on new violations.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string report_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ptsbe_lint [--root DIR] [--report FILE] [--quiet]\n"
+                   "Checks the ptsbe project invariants (determinism of "
+                   "randomness and\nserialization, kernel bit-identity, "
+                   "self-contained public headers).\nExits 1 when any "
+                   "finding exists.\n";
+      return 0;
+    } else {
+      std::cerr << "ptsbe_lint: unknown argument '" << arg
+                << "' (try --help)\n";
+      return 2;
+    }
+  }
+
+  const ptsbe::lint::LintConfig config;
+  const std::vector<ptsbe::lint::Finding> findings =
+      ptsbe::lint::lint_tree(root, config);
+
+  if (!quiet) {
+    for (const ptsbe::lint::Finding& f : findings)
+      std::cout << f.file << ':' << f.line << ": [" << f.check << "] "
+                << f.message << '\n';
+    std::cout << "ptsbe-lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << '\n';
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::cerr << "ptsbe_lint: cannot write report to '" << report_path
+                << "'\n";
+      return 2;
+    }
+    out << ptsbe::lint::report_json(findings) << '\n';
+  }
+  return findings.empty() ? 0 : 1;
+}
