@@ -14,6 +14,8 @@
 //   ptsbe_cli --strategy enumerate --cutoff 1e-5 --devices 8 --seed 7
 //   ptsbe_cli --circuit bell.ptq --nshots 1000
 //   ptsbe_cli --qec repetition --distance 5 --rounds 3
+//   ptsbe_cli --compare shard_a.bin shard_b.bin --json
+//   ptsbe_cli --merge merged.bin shard0.bin shard1.bin shard2.bin
 //
 // With --circuit the workload is read from a `.ptq` file (circuit + noise
 // sites as data — see ptsbe/io/ptq.hpp) instead of the built-in GHZ demo;
@@ -24,7 +26,14 @@
 // depolarizing gate noise of strength --noise (readout bit-flips at half
 // that). The records are decoded (--decoder) and the logical error rate is
 // reported with a 95% Wilson interval; --emit-ptq saves the exact noisy
-// program as a `.ptq` job spec a serve::Engine tenant can submit verbatim.
+// program as a `.ptq` job spec a serve::Engine tenant can submit verbatim,
+// and --emit-dataset saves the labelled shots as a compare-ready PTSB shard.
+//
+// --compare and --merge are dataset-analytics modes (ptsbe::stats) that run
+// no simulation at all: --compare tabulates two PTSB datasets out-of-core
+// and reports the four BranchTab-style distances (bit-identical files give
+// exactly 0 for all four); --merge recombines N spec-ordered shards into
+// one dataset via the k-way merge under --merge-budget bytes of buffering.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,11 +42,16 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "ptsbe/core/pipeline.hpp"
 #include "ptsbe/io/ptq.hpp"
 #include "ptsbe/kernels/kernel_set.hpp"
 #include "ptsbe/noise/channels.hpp"
 #include "ptsbe/qec/metrics.hpp"
+#include "ptsbe/stats/compare.hpp"
+#include "ptsbe/stats/merge.hpp"
+#include "ptsbe/stats/shot_table.hpp"
 
 namespace {
 
@@ -70,6 +84,18 @@ void usage(std::FILE* os, const char* argv0) {
       "                         [st-union-find]\n"
       "  --emit-ptq PATH        save the QEC noisy program as a .ptq job\n"
       "                         spec (servable via serve::Engine)\n"
+      "  --emit-dataset PATH    save the QEC labelled shots as a PTSB binary\n"
+      "                         shard, ready for --compare/--merge\n"
+      "  --compare A B          tabulate two PTSB datasets out-of-core and\n"
+      "                         report KL divergence, chi-squared cost,\n"
+      "                         Poisson log-cost and total variation\n"
+      "                         (bit-identical files give exactly 0)\n"
+      "  --merge OUT IN...      k-way merge N spec-ordered PTSB shards into\n"
+      "                         OUT under the --merge-budget byte bound\n"
+      "  --merge-budget BYTES   buffered-batch bound for --merge [67108864]\n"
+      "  --view MODE            dataset access mode for --compare/--merge:\n"
+      "                         auto, mmap or stream [auto]\n"
+      "  --json                 emit --compare/--merge results as JSON\n"
       "  --qubits N             GHZ workload width [6]\n"
       "  --noise P              depolarizing probability per gate [0.01]\n"
       "  --nsamples N           candidate trajectory draws [2000]\n"
@@ -116,6 +142,13 @@ int main(int argc, char** argv) {
   std::string qec_basis = "z";
   std::string qec_decoder = "st-union-find";
   std::string emit_ptq_path;
+  std::string emit_dataset_path;
+  std::string compare_a, compare_b;
+  std::string merge_out;
+  std::vector<std::string> merge_inputs;
+  std::uint64_t merge_budget = 64ULL << 20;
+  std::string view_mode = "auto";
+  bool json_output = false;
   std::string csv_path, binary_path;
   unsigned qubits = 6;
   double noise_p = 0.01;
@@ -172,6 +205,23 @@ int main(int argc, char** argv) {
       qec_decoder = value();
     } else if (arg == "--emit-ptq") {
       emit_ptq_path = value();
+    } else if (arg == "--emit-dataset") {
+      emit_dataset_path = value();
+    } else if (arg == "--compare") {
+      compare_a = value();
+      compare_b = value();
+    } else if (arg == "--merge") {
+      // --merge OUT IN... : the output path, then every following
+      // non-flag argument is an input shard.
+      merge_out = value();
+      while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        merge_inputs.emplace_back(argv[++i]);
+    } else if (arg == "--merge-budget") {
+      merge_budget = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--view") {
+      view_mode = value();
+    } else if (arg == "--json") {
+      json_output = true;
     } else if (arg == "--qubits") {
       qubits = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--noise") {
@@ -236,6 +286,82 @@ int main(int argc, char** argv) {
       reject(argv[0], e.what());
     }
   }
+  // Dataset-analytics modes: validated and dispatched before any workload
+  // machinery — they touch only PTSB bytes, never the registries.
+  dataset::ViewMode view = dataset::ViewMode::kAuto;
+  try {
+    view = dataset::view_mode_from_string(view_mode);
+  } catch (const std::exception& e) {
+    reject(argv[0], e.what());
+  }
+  if (!compare_a.empty() && !merge_out.empty())
+    reject(argv[0], "--compare and --merge are mutually exclusive");
+  if (!merge_out.empty() && merge_inputs.empty())
+    reject(argv[0], "--merge needs at least one input shard");
+  if (!merge_out.empty()) {
+    try {
+      stats::MergeOptions options;
+      options.memory_budget_bytes = merge_budget;
+      options.view = view;
+      const stats::MergeReport report =
+          stats::merge_datasets(merge_out, merge_inputs, options);
+      if (json_output) {
+        std::printf(
+            "{\"output\":\"%s\",\"inputs\":%llu,\"batches\":%llu,"
+            "\"records\":%llu,\"bytes_out\":%llu,"
+            "\"peak_buffered_bytes\":%llu,\"memory_budget_bytes\":%llu}\n",
+            merge_out.c_str(),
+            static_cast<unsigned long long>(report.inputs),
+            static_cast<unsigned long long>(report.batches),
+            static_cast<unsigned long long>(report.records),
+            static_cast<unsigned long long>(report.bytes_out),
+            static_cast<unsigned long long>(report.peak_buffered_bytes),
+            static_cast<unsigned long long>(merge_budget));
+      } else {
+        std::printf(
+            "merged %llu shards -> %s: batches=%llu records=%llu "
+            "bytes=%llu peak_buffered=%llu (budget %llu)\n",
+            static_cast<unsigned long long>(report.inputs), merge_out.c_str(),
+            static_cast<unsigned long long>(report.batches),
+            static_cast<unsigned long long>(report.records),
+            static_cast<unsigned long long>(report.bytes_out),
+            static_cast<unsigned long long>(report.peak_buffered_bytes),
+            static_cast<unsigned long long>(merge_budget));
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+  if (!compare_a.empty()) {
+    try {
+      const stats::ShotTable observed = stats::table_of_file(compare_a, view);
+      const stats::ShotTable expected = stats::table_of_file(compare_b, view);
+      const stats::Comparison c = stats::compare(observed, expected);
+      if (json_output) {
+        std::printf("%s\n", stats::comparison_to_json(c).c_str());
+      } else {
+        std::printf("observed: %s (total=%.17g distinct=%zu)\n",
+                    compare_a.c_str(), observed.total(), observed.distinct());
+        std::printf("expected: %s (total=%.17g distinct=%zu)\n",
+                    compare_b.c_str(), expected.total(), expected.distinct());
+        std::printf("kl_divergence    = %.17g\n", c.kl_divergence);
+        std::printf("chi_squared_cost = %.17g\n", c.chi_squared_cost);
+        std::printf("poisson_log_cost = %.17g\n", c.poisson_log_cost);
+        std::printf("total_variation  = %.17g\n", c.total_variation);
+        std::printf("exact match: %s\n", c.exact_match() ? "yes" : "no");
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+  if (!emit_dataset_path.empty() && qec_code.empty())
+    reject(argv[0],
+           "--emit-dataset requires --qec (use --binary for the demo "
+           "workloads)");
   // QEC-mode names fail fast too (the builders own the name lists).
   if (!qec_code.empty()) {
     if (!circuit_path.empty())
@@ -334,6 +460,11 @@ int main(int argc, char** argv) {
       if (!binary_path.empty()) {
         run.to_binary(binary_path);
         std::printf("wrote %s\n", binary_path.c_str());
+      }
+      if (!emit_dataset_path.empty()) {
+        run.to_binary(emit_dataset_path);
+        std::printf("wrote %s (compare-ready PTSB shard)\n",
+                    emit_dataset_path.c_str());
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());

@@ -10,14 +10,14 @@ namespace ptsbe::dataset {
 
 namespace {
 
-constexpr char kMagic[4] = {'P', 'T', 'S', 'B'};
 // Version 2 dropped the per-batch device id: which worker prepared a batch
 // is a thread-scheduling artifact, and persisting it broke the contract
 // that a batch's *bytes* depend only on (program, spec, seed). With it
 // gone, spec-ordered exports (write_binary over a materialised Result) are
 // byte-identical at every thread count; a streamed file can still order
 // its blocks by completion, but the blocks themselves are bitwise stable.
-constexpr std::uint32_t kVersion = 2;
+constexpr const char (&kMagic)[4] = kFormatMagic;
+constexpr std::uint32_t kVersion = kFormatVersion;
 
 template <typename T>
 void put(std::ofstream& os, const T& v) {
@@ -53,6 +53,13 @@ void put_batch(std::ofstream& os, const be::TrajectoryBatch& batch) {
 /// Byte offset of the header's batch-count field (after magic + version).
 constexpr std::streamoff kBatchCountOffset = 4 + sizeof(kVersion);
 
+/// On-disk size of one batch block (mirrors put_batch exactly).
+std::uint64_t batch_bytes(const be::TrajectoryBatch& batch) {
+  return 6 * sizeof(std::uint64_t) +
+         2 * sizeof(std::uint64_t) * batch.spec.branches.size() +
+         sizeof(std::uint64_t) * batch.records.size();
+}
+
 }  // namespace
 
 void write_csv(const std::string& path, const be::Result& result) {
@@ -87,7 +94,8 @@ StreamWriter::StreamWriter(const std::string& path)
   if (!os_) throw runtime_failure("cannot open '" + path + "' for writing");
   os_.write(kMagic, 4);
   put(os_, kVersion);
-  put(os_, std::uint64_t{0});  // batch count, patched by close()
+  put(os_, std::uint64_t{0});  // batch count, patched by flush()/close()
+  bytes_ = kHeaderBytes;
   if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
 }
 
@@ -107,14 +115,28 @@ void StreamWriter::append(const be::TrajectoryBatch& batch) {
   put_batch(os_, batch);
   if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
   ++count_;
+  records_ += batch.records.size();
+  bytes_ += batch_bytes(batch);
+}
+
+void StreamWriter::flush() {
+  PTSBE_REQUIRE(!closed_, "StreamWriter is closed");
+  os_.seekp(kBatchCountOffset);
+  put(os_, count_);
+  os_.flush();
+  if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
+  // Return the put position to the end so the next append() extends the
+  // file instead of overwriting the batch after the header.
+  os_.seekp(0, std::ios::end);
+  if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
 }
 
 void StreamWriter::close() {
   if (closed_) return;
-  closed_ = true;
   os_.seekp(kBatchCountOffset);
   put(os_, count_);
   os_.flush();
+  closed_ = true;
   if (!os_) throw runtime_failure("error while writing '" + path_ + "'");
   os_.close();
 }

@@ -12,6 +12,7 @@
 ///  - binary — compact columnar blocks, one per trajectory batch, suitable
 ///    for the trillion-shot-scale corpora the paper reports.
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -20,6 +21,17 @@
 #include "ptsbe/core/batched_execution.hpp"
 
 namespace ptsbe::dataset {
+
+/// Binary-format framing shared by the writers here and the out-of-core
+/// reader layer (`ptsbe::stats`): magic, current version, and the fixed
+/// header size (magic + version + u64 batch count). These are part of the
+/// on-disk contract — bump `kFormatVersion` on any incompatible layout
+/// change and keep the version-rejection diagnostics in both readers in
+/// sync.
+inline constexpr char kFormatMagic[4] = {'P', 'T', 'S', 'B'};
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::size_t kHeaderBytes =
+    sizeof(kFormatMagic) + sizeof(kFormatVersion) + sizeof(std::uint64_t);
 
 /// Write a BE result as CSV: columns
 /// `trajectory,shot,record,nominal_probability,errors` where `errors` is a
@@ -65,22 +77,47 @@ class StreamWriter {
 
   /// Append one trajectory batch block (zero-probability unrealizable
   /// batches round-trip like any other: empty record payload, weight 0).
-  /// \throws runtime_failure on write errors or after close().
+  /// \throws runtime_failure on write errors;
+  ///         precondition_error after close().
   void append(const be::TrajectoryBatch& batch);
 
   /// Patch the header's batch count and flush. Idempotent.
   /// \throws runtime_failure on write errors.
   void close();
 
+  /// Patch the header's batch count and flush *without* closing: after
+  /// flush() returns, the bytes on disk are a complete, readable dataset
+  /// of the batches appended so far, and further append() calls keep
+  /// extending it. This is what lets the reader layer consume a stream
+  /// that is still being written (the header count always describes a
+  /// fully-written prefix — a flushed file never ends mid-batch).
+  /// \throws runtime_failure on write errors;
+  ///         precondition_error after close().
+  void flush();
+
   /// Batches appended so far.
   [[nodiscard]] std::uint64_t batches_written() const noexcept {
     return count_;
+  }
+
+  /// Measurement records appended so far (across all batches).
+  [[nodiscard]] std::uint64_t record_count() const noexcept {
+    return records_;
+  }
+
+  /// Bytes written so far, header included — after flush()/close() this is
+  /// exactly the file size, which is how the reader layer's tests pin a
+  /// partially-written stream against the on-disk reality.
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_;
   }
 
  private:
   std::string path_;
   std::ofstream os_;
   std::uint64_t count_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
   bool closed_ = false;
   int uncaught_at_open_ = 0;
 };

@@ -37,6 +37,21 @@ struct Counters {
   }
 };
 
+/// Fold one batch's records into a tenant's running ShotTable, spilling
+/// new records into shot_overflow once the distinct-record bound is
+/// reached (existing records always keep accumulating, so the tabulated
+/// subset stays exact). Caller holds tenants_mutex.
+void tabulate_records(TenantStats& t,
+                      const std::vector<std::uint64_t>& records,
+                      std::size_t capacity) {
+  for (const std::uint64_t record : records) {
+    if (t.shots.contains(record) || t.shots.distinct() < capacity)
+      t.shots.add(record);
+    else
+      ++t.shot_overflow;
+  }
+}
+
 /// Shared state behind one JobHandle. Transitions are guarded by `mutex`;
 /// the request/program/plan fields are written once at submit time and
 /// read-only afterwards.
@@ -436,16 +451,31 @@ void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
         .threads(req.threads)
         .seed(req.seed)
         .cached_plan(job->plan);
+    const std::size_t table_cap = config_.tenant_shot_table_capacity;
     RunResult run;
     if (req.stream_sink) {
       // Streaming delivery: batches go to the tenant's sink from this
       // worker thread as they complete; the stored RunResult carries the
       // metadata a client needs to reassemble/estimate, not the records.
+      // The tenant's ShotTable aggregate taps the stream on the way past —
+      // the engine never re-materialises what the sink consumed.
+      be::BatchSink sink = req.stream_sink;
+      if (table_cap > 0) {
+        sink = [this, &tenant, table_cap,
+                inner = req.stream_sink](be::TrajectoryBatch&& batch) {
+          {
+            MutexLock tenants(counters_->tenants_mutex);
+            detail::tabulate_records(counters_->tenant_locked(tenant), batch.records,
+                             table_cap);
+          }
+          inner(std::move(batch));
+        };
+      }
       run.weighting = pipeline.weighting();
       run.strategy = req.strategy;
       run.backend = req.backend;
       run.schedule_requested = req.schedule;
-      const be::StreamSummary summary = pipeline.run_streaming(req.stream_sink);
+      const be::StreamSummary summary = pipeline.run_streaming(sink);
       run.schedule_executed = summary.schedule;
       run.num_specs = summary.num_batches;
       run.result.schedule = summary.schedule;
@@ -453,6 +483,12 @@ void Engine::execute(const std::shared_ptr<detail::JobState>& job) {
       run.result.sample_seconds = summary.sample_seconds;
     } else {
       run = pipeline.run();
+      if (table_cap > 0) {
+        MutexLock tenants(counters_->tenants_mutex);
+        TenantStats& t = counters_->tenant_locked(tenant);
+        for (const be::TrajectoryBatch& batch : run.result.batches)
+          detail::tabulate_records(t, batch.records, table_cap);
+      }
     }
     // Count before notifying: a waiter reading stats() right after wait()
     // returns must already see this job as served.
@@ -503,6 +539,11 @@ EngineStats Engine::stats() const {
 
 namespace {
 
+/// Most shot records emitted per tenant in the stats JSON — the table
+/// itself is bounded by tenant_shot_table_capacity, but a monitoring reply
+/// should stay small even when that knob is raised.
+constexpr std::size_t kJsonShotRecords = 256;
+
 /// Minimal JSON string escape (quotes, backslashes, control characters) —
 /// tenant labels are client-asserted text and must not break the document.
 void append_json_string(std::ostringstream& os, const std::string& s) {
@@ -548,7 +589,12 @@ std::string stats_to_json(const EngineStats& stats) {
        << ", \"cancelled\": " << t.cancelled
        << ", \"queue_depth\": " << t.queue_depth
        << ", \"queue_high_water\": " << t.queue_high_water
-       << ", \"outstanding\": " << t.outstanding << '}';
+       << ", \"outstanding\": " << t.outstanding
+       << ", \"shot_overflow\": " << t.shot_overflow
+       // Truncation is deterministic (smallest records first) — monitoring
+       // diffs must not flap on map order.
+       << ", \"shots\": " << stats::to_json(t.shots, kJsonShotRecords)
+       << '}';
   }
   os << "}}";
   return os.str();

@@ -52,6 +52,7 @@
 #include "ptsbe/common/thread_annotations.hpp"
 #include "ptsbe/core/pipeline.hpp"
 #include "ptsbe/serve/plan_cache.hpp"
+#include "ptsbe/stats/shot_table.hpp"
 
 namespace ptsbe::serve {
 
@@ -213,6 +214,13 @@ struct EngineConfig {
   /// Per-tenant overrides of `tenant_quota` (0 = unlimited for that
   /// tenant). Tenants not listed use the default.
   std::map<std::string, std::size_t> tenant_quota_overrides = {};
+  /// Bound on the *distinct* measurement records each tenant's running
+  /// `stats::ShotTable` aggregate may track (tenant circuits choose the
+  /// record space, so an unbounded table would let one tenant grow engine
+  /// memory without limit). Shots whose record is new once the bound is
+  /// reached are counted in `TenantStats::shot_overflow` instead of
+  /// tabulated. 0 disables aggregation entirely.
+  std::size_t tenant_shot_table_capacity = 4096;
 };
 
 /// Per-tenant service counters (monotonic except queue_depth /
@@ -226,6 +234,14 @@ struct TenantStats {
   std::size_t queue_depth = 0;  ///< Jobs admitted but not yet running.
   std::size_t queue_high_water = 0;  ///< Max queue_depth ever observed.
   std::size_t outstanding = 0;  ///< Queued + running (what quotas bound).
+  /// Running record histogram over this tenant's shots — tabulated on
+  /// completion for materialised jobs, per delivered batch for streaming
+  /// jobs — bounded by `EngineConfig::tenant_shot_table_capacity` distinct
+  /// records.
+  stats::ShotTable shots;
+  /// Shots dropped from `shots` because the distinct-record bound was
+  /// reached (their record was new; existing records always accumulate).
+  std::uint64_t shot_overflow = 0;
 };
 
 /// Aggregate service counters (monotonic since construction except

@@ -1,0 +1,123 @@
+#include "ptsbe/stats/compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ptsbe::stats {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Walk the union of two ordered maps in ascending record order, calling
+/// `fn(observed_weight, expected_weight)` once per record in the union.
+/// The ordered walk makes every metric's summation order deterministic —
+/// floating-point sums are order-sensitive, so this is what pins a
+/// comparison's value (not just its sign) across runs.
+template <typename Fn>
+void for_union(const ShotTable& observed, const ShotTable& expected, Fn fn) {
+  auto it = observed.entries().begin();
+  const auto it_end = observed.entries().end();
+  auto jt = expected.entries().begin();
+  const auto jt_end = expected.entries().end();
+  while (it != it_end || jt != jt_end) {
+    if (jt == jt_end || (it != it_end && it->first < jt->first)) {
+      fn(it->second, 0.0);
+      ++it;
+    } else if (it == it_end || jt->first < it->first) {
+      fn(0.0, jt->second);
+      ++jt;
+    } else {
+      fn(it->second, jt->second);
+      ++it;
+      ++jt;
+    }
+  }
+}
+
+std::string fmt(double v) {
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+double kl_divergence(const ShotTable& observed, const ShotTable& expected) {
+  ShotTable p = observed;
+  ShotTable q = expected;
+  p.normalise();
+  q.normalise();
+  double sum = 0.0;
+  for_union(p, q, [&sum](double o, double e) {
+    if (o <= 0.0) return;  // lim x→0 x·ln(x/e) = 0
+    if (e <= 0.0) {
+      sum = kInf;
+      return;
+    }
+    // o == e contributes exactly 0: o/e is exactly 1.0, log(1.0) is 0.0.
+    sum += o * std::log(o / e);
+  });
+  return sum;
+}
+
+double chi_squared_cost(const ShotTable& observed, const ShotTable& expected) {
+  double sum = 0.0;
+  for_union(observed, expected, [&sum](double o, double e) {
+    if (e <= 0.0) {
+      if (o > 0.0) sum = kInf;
+      return;
+    }
+    const double d = o - e;
+    sum += d * d / e;
+  });
+  return sum;
+}
+
+double poisson_log_cost(const ShotTable& observed, const ShotTable& expected) {
+  double sum = 0.0;
+  for_union(observed, expected, [&sum](double o, double e) {
+    if (e <= 0.0) {
+      if (o > 0.0) sum = kInf;
+      return;
+    }
+    if (o <= 0.0) {
+      sum += 2.0 * e;  // lim o→0 of the deviance term
+      return;
+    }
+    sum += 2.0 * (o * std::log(o / e) - (o - e));
+  });
+  return sum;
+}
+
+double total_variation(const ShotTable& observed, const ShotTable& expected) {
+  ShotTable p = observed;
+  ShotTable q = expected;
+  p.normalise();
+  q.normalise();
+  double sum = 0.0;
+  for_union(p, q, [&sum](double o, double e) { sum += std::fabs(o - e); });
+  return 0.5 * sum;
+}
+
+Comparison compare(const ShotTable& observed, const ShotTable& expected) {
+  Comparison c;
+  c.kl_divergence = kl_divergence(observed, expected);
+  c.chi_squared_cost = chi_squared_cost(observed, expected);
+  c.poisson_log_cost = poisson_log_cost(observed, expected);
+  c.total_variation = total_variation(observed, expected);
+  return c;
+}
+
+std::string comparison_to_json(const Comparison& comparison) {
+  return "{\"kl_divergence\":" + fmt(comparison.kl_divergence) +
+         ",\"chi_squared_cost\":" + fmt(comparison.chi_squared_cost) +
+         ",\"poisson_log_cost\":" + fmt(comparison.poisson_log_cost) +
+         ",\"total_variation\":" + fmt(comparison.total_variation) +
+         ",\"exact_match\":" +
+         (comparison.exact_match() ? "true" : "false") + "}";
+}
+
+}  // namespace ptsbe::stats

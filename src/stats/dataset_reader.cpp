@@ -1,0 +1,258 @@
+#include "ptsbe/stats/dataset_reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+
+namespace ptsbe::dataset {
+
+const std::string& to_string(ViewMode mode) {
+  static const std::string kNames[] = {"auto", "mmap", "stream"};
+  return kNames[static_cast<std::uint8_t>(mode)];
+}
+
+ViewMode view_mode_from_string(const std::string& name) {
+  if (name == "auto") return ViewMode::kAuto;
+  if (name == "mmap") return ViewMode::kMmap;
+  if (name == "stream") return ViewMode::kStream;
+  throw precondition_error("unknown view mode '" + name +
+                           "' (expected \"auto\", \"mmap\" or \"stream\")");
+}
+
+namespace detail {
+
+/// Random-access bytes of one open file. Both implementations surface
+/// short reads as the same "truncated dataset file" failure the batch
+/// decoder reports, so a file that shrinks mid-read cannot silently yield
+/// garbage.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  [[nodiscard]] virtual std::uint64_t size() const noexcept = 0;
+  [[nodiscard]] virtual bool mapped() const noexcept = 0;
+  /// Copy `n` bytes at `offset` into `dst`.
+  /// \throws runtime_failure when [offset, offset+n) exceeds the file.
+  virtual void read_at(std::uint64_t offset, void* dst, std::size_t n) = 0;
+};
+
+namespace {
+
+class MmapSource final : public ByteSource {
+ public:
+  MmapSource(void* base, std::uint64_t size, std::string path)
+      : base_(static_cast<const char*>(base)),
+        size_(size),
+        path_(std::move(path)) {}
+  ~MmapSource() override {
+    if (base_ != nullptr && size_ > 0)
+      ::munmap(const_cast<char*>(base_), size_);
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept override { return size_; }
+  [[nodiscard]] bool mapped() const noexcept override { return true; }
+  void read_at(std::uint64_t offset, void* dst, std::size_t n) override {
+    if (n == 0) return;
+    PTSBE_CHECK(offset <= size_ && n <= size_ - offset,
+                "truncated dataset file '" + path_ + "'");
+    std::memcpy(dst, base_ + offset, n);
+  }
+
+ private:
+  const char* base_;
+  std::uint64_t size_;
+  std::string path_;
+};
+
+class StreamSource final : public ByteSource {
+ public:
+  StreamSource(int fd, std::uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~StreamSource() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept override { return size_; }
+  [[nodiscard]] bool mapped() const noexcept override { return false; }
+  void read_at(std::uint64_t offset, void* dst, std::size_t n) override {
+    PTSBE_CHECK(offset <= size_ && n <= size_ - offset,
+                "truncated dataset file '" + path_ + "'");
+    char* out = static_cast<char*>(dst);
+    while (n > 0) {
+      const ssize_t got =
+          ::pread(fd_, out, n, static_cast<off_t>(offset));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        throw runtime_failure("error reading '" + path_ +
+                              "': " + std::strerror(errno));
+      }
+      PTSBE_CHECK(got != 0, "truncated dataset file '" + path_ + "'");
+      out += got;
+      offset += static_cast<std::uint64_t>(got);
+      n -= static_cast<std::size_t>(got);
+    }
+  }
+
+ private:
+  int fd_;
+  std::uint64_t size_;
+  std::string path_;
+};
+
+std::unique_ptr<ByteSource> open_source(const std::string& path,
+                                        ViewMode mode) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw runtime_failure("cannot open '" + path + "' for reading");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw runtime_failure("cannot stat '" + path + "'");
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  if (mode != ViewMode::kStream && size > 0) {
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base != MAP_FAILED) {
+      // The mapping pins the bytes; the descriptor is no longer needed.
+      ::close(fd);
+      return std::make_unique<MmapSource>(base, size, path);
+    }
+    if (mode == ViewMode::kMmap) {
+      ::close(fd);
+      throw runtime_failure("cannot mmap '" + path +
+                            "': " + std::strerror(errno));
+    }
+    // kAuto: fall through to the pread path.
+  }
+  return std::make_unique<StreamSource>(fd, size, path);
+}
+
+}  // namespace
+
+}  // namespace detail
+
+namespace {
+
+template <typename T>
+T read_scalar(detail::ByteSource& source, std::uint64_t offset) {
+  T v{};
+  source.read_at(offset, &v, sizeof(T));
+  return v;
+}
+
+/// Fixed-width prefix of one batch block: spec_index, nominal, realized,
+/// shots, num_branches (num_records follows the branch list).
+constexpr std::uint64_t kBatchFixedBytes = 5 * sizeof(std::uint64_t);
+
+}  // namespace
+
+Reader::Reader(const std::string& path, ViewMode mode)
+    : path_(path), source_(detail::open_source(path, mode)) {
+  size_ = source_->size();
+  if (size_ < kHeaderBytes)
+    throw runtime_failure("'" + path + "' is not a PTSB dataset");
+  char magic[4];
+  source_->read_at(0, magic, 4);
+  if (std::memcmp(magic, kFormatMagic, 4) != 0)
+    throw runtime_failure("'" + path + "' is not a PTSB dataset");
+  const auto version = read_scalar<std::uint32_t>(*source_, 4);
+  if (version != kFormatVersion)
+    throw runtime_failure(
+        "unsupported dataset version " + std::to_string(version) +
+        (version == 1 ? " (version 1 embedded scheduler-dependent device "
+                        "ids; regenerate the dataset)"
+                      : ""));
+  num_batches_ =
+      read_scalar<std::uint64_t>(*source_, 4 + sizeof(kFormatVersion));
+  offset_ = kHeaderBytes;
+  offsets_.push_back(offset_);
+}
+
+Reader::~Reader() = default;
+Reader::Reader(Reader&&) noexcept = default;
+Reader& Reader::operator=(Reader&&) noexcept = default;
+
+bool Reader::mapped() const noexcept { return source_->mapped(); }
+
+bool Reader::next(be::TrajectoryBatch& out) {
+  if (index_ >= num_batches_) return false;
+  std::uint64_t at = offset_;
+
+  std::uint64_t fixed[5];
+  source_->read_at(at, fixed, sizeof(fixed));
+  at += sizeof(fixed);
+  out.spec_index = static_cast<std::size_t>(fixed[0]);
+  std::memcpy(&out.spec.nominal_probability, &fixed[1], sizeof(double));
+  std::memcpy(&out.realized_probability, &fixed[2], sizeof(double));
+  out.spec.shots = fixed[3];
+  const std::uint64_t num_branches = fixed[4];
+
+  // Hostile-length guard: every count is bounded by the bytes that remain,
+  // *before* any allocation (same discipline as the net batch codec).
+  const std::uint64_t remaining = size_ - at;
+  PTSBE_CHECK(num_branches <= remaining / (2 * sizeof(std::uint64_t)),
+              "truncated dataset file '" + path_ + "'");
+  out.spec.branches.resize(num_branches);
+  for (BranchChoice& bc : out.spec.branches) {
+    std::uint64_t pair[2];
+    source_->read_at(at, pair, sizeof(pair));
+    at += sizeof(pair);
+    bc.site = pair[0];
+    bc.branch = pair[1];
+  }
+
+  const auto num_records = read_scalar<std::uint64_t>(*source_, at);
+  at += sizeof(std::uint64_t);
+  PTSBE_CHECK(num_records <= (size_ - at) / sizeof(std::uint64_t),
+              "truncated dataset file '" + path_ + "'");
+  out.records.resize(num_records);
+  if (num_records > 0)
+    source_->read_at(at, out.records.data(),
+                     num_records * sizeof(std::uint64_t));
+  at += num_records * sizeof(std::uint64_t);
+
+  out.device_id = 0;  // scheduling artifact; not persisted (format v2)
+  offset_ = at;
+  ++index_;
+  if (index_ == offsets_.size()) offsets_.push_back(offset_);
+  return true;
+}
+
+std::uint64_t Reader::offset_of(std::uint64_t index) {
+  // Extend the lazy offset index by skip-scanning block headers: read the
+  // two length fields of each unvisited block and jump over its payload.
+  while (offsets_.size() <= index) {
+    std::uint64_t at = offsets_.back();
+    const auto num_branches =
+        read_scalar<std::uint64_t>(*source_, at + 4 * sizeof(std::uint64_t));
+    std::uint64_t remaining = size_ - (at + kBatchFixedBytes);
+    PTSBE_CHECK(num_branches <= remaining / (2 * sizeof(std::uint64_t)),
+                "truncated dataset file '" + path_ + "'");
+    at += kBatchFixedBytes + num_branches * 2 * sizeof(std::uint64_t);
+    const auto num_records = read_scalar<std::uint64_t>(*source_, at);
+    at += sizeof(std::uint64_t);
+    PTSBE_CHECK(num_records <= (size_ - at) / sizeof(std::uint64_t),
+                "truncated dataset file '" + path_ + "'");
+    at += num_records * sizeof(std::uint64_t);
+    offsets_.push_back(at);
+  }
+  return offsets_[index];
+}
+
+void Reader::seek_batch(std::uint64_t index) {
+  PTSBE_REQUIRE(index <= num_batches_,
+                "seek_batch(" + std::to_string(index) + ") past the " +
+                    std::to_string(num_batches_) + "-batch dataset");
+  offset_ = offset_of(index);
+  index_ = index;
+}
+
+Reader open_view(const std::string& path, ViewMode mode) {
+  return Reader(path, mode);
+}
+
+}  // namespace ptsbe::dataset

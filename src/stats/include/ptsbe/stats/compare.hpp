@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file compare.hpp
+/// \brief Statistical distances between observed and expected ShotTables.
+///
+/// The four metrics of the BranchTab toolkit (`BranchTab_KLdiverg`,
+/// `BranchTab_chiSqCost`, Poisson deviance, total variation), adapted to
+/// record histograms. Every metric is **exactly 0** — not merely tiny —
+/// when the two tables are bitwise equal: equal weights make every ratio
+/// exactly 1.0 and every difference exactly 0.0, `std::log(1.0)` is
+/// exactly 0.0, and sums of exact zeros are exact. That is the property
+/// the determinism contract is validated against: two shards produced by
+/// the same job on different daemons must compare to 0.0, not to 1e-16.
+///
+/// Mismatched support: a record observed where the expectation is 0 has
+/// likelihood 0, so KL, chi-squared and the Poisson cost all return
+/// +infinity (total variation stays finite by construction). Metrics skip
+/// nothing silently.
+
+#include <string>
+
+#include "ptsbe/stats/shot_table.hpp"
+
+namespace ptsbe::stats {
+
+/// KL divergence D(observed ‖ expected) in nats. Both tables are
+/// normalised internally, so raw-count tables are fine.
+/// \returns +infinity when observed has support where expected has none.
+/// \throws precondition_error when either table has non-positive total.
+[[nodiscard]] double kl_divergence(const ShotTable& observed,
+                                   const ShotTable& expected);
+
+/// Pearson chi-squared cost Σ (o−e)²/e over raw counts.
+/// \returns +infinity when observed has support where expected has none.
+[[nodiscard]] double chi_squared_cost(const ShotTable& observed,
+                                      const ShotTable& expected);
+
+/// Poisson log-cost in deviance form, 2·Σ [o·ln(o/e) − (o−e)] over raw
+/// counts — the scaled log-likelihood-ratio against the saturated model,
+/// which (unlike the raw negative log-likelihood) is 0 at o == e.
+/// \returns +infinity when observed has support where expected has none.
+[[nodiscard]] double poisson_log_cost(const ShotTable& observed,
+                                      const ShotTable& expected);
+
+/// Total-variation distance ½·Σ |p−q| between the normalised
+/// distributions; always in [0, 1].
+/// \throws precondition_error when either table has non-positive total.
+[[nodiscard]] double total_variation(const ShotTable& observed,
+                                     const ShotTable& expected);
+
+/// All four metrics of one comparison.
+struct Comparison {
+  double kl_divergence = 0.0;
+  double chi_squared_cost = 0.0;
+  double poisson_log_cost = 0.0;
+  double total_variation = 0.0;
+
+  /// True when every metric is exactly 0 — the bit-identical-shards case.
+  [[nodiscard]] bool exact_match() const noexcept {
+    return kl_divergence == 0.0 && chi_squared_cost == 0.0 &&
+           poisson_log_cost == 0.0 && total_variation == 0.0;
+  }
+};
+
+/// Compute all four metrics.
+[[nodiscard]] Comparison compare(const ShotTable& observed,
+                                 const ShotTable& expected);
+
+/// {"kl_divergence":…,"chi_squared_cost":…,"poisson_log_cost":…,
+///  "total_variation":…,"exact_match":…} — infinities render as the JSON
+/// string "inf" (JSON numbers cannot express them).
+[[nodiscard]] std::string comparison_to_json(const Comparison& comparison);
+
+}  // namespace ptsbe::stats

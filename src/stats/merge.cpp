@@ -1,0 +1,103 @@
+#include "ptsbe/stats/merge.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "ptsbe/common/error.hpp"
+#include "ptsbe/core/dataset.hpp"
+
+namespace ptsbe::stats {
+
+namespace {
+
+/// On-disk bytes of one batch block (mirrors the dataset writer's layout:
+/// six fixed u64-sized fields + the branch pairs + the records).
+std::uint64_t block_bytes(const be::TrajectoryBatch& batch) {
+  return 6 * sizeof(std::uint64_t) +
+         2 * sizeof(std::uint64_t) * batch.spec.branches.size() +
+         sizeof(std::uint64_t) * batch.records.size();
+}
+
+/// One input shard: its reader and the buffered head batch.
+struct Input {
+  explicit Input(const std::string& path, dataset::ViewMode view)
+      : reader(path, view) {}
+  dataset::Reader reader;
+  be::TrajectoryBatch head;
+  std::uint64_t head_bytes = 0;
+  bool exhausted = false;
+};
+
+}  // namespace
+
+MergeReport merge_datasets(const std::string& out_path,
+                           const std::vector<std::string>& inputs,
+                           const MergeOptions& options) {
+  PTSBE_REQUIRE(!inputs.empty(), "merge_datasets needs at least one input");
+
+  MergeReport report;
+  report.inputs = inputs.size();
+
+  std::vector<std::unique_ptr<Input>> shards;
+  shards.reserve(inputs.size());
+  std::uint64_t buffered = 0;
+
+  const auto account = [&](std::uint64_t added) {
+    buffered += added;
+    report.peak_buffered_bytes =
+        std::max(report.peak_buffered_bytes, buffered);
+    if (buffered > options.memory_budget_bytes)
+      throw runtime_failure(
+          "merge memory budget of " +
+          std::to_string(options.memory_budget_bytes) +
+          " bytes cannot hold the " + std::to_string(inputs.size()) +
+          " concurrent head batches (" + std::to_string(buffered) +
+          " bytes buffered); raise MergeOptions::memory_budget_bytes");
+  };
+
+  const auto advance = [&](Input& shard) {
+    buffered -= shard.head_bytes;
+    shard.head_bytes = 0;
+    if (shard.reader.next(shard.head)) {
+      shard.head_bytes = block_bytes(shard.head);
+      account(shard.head_bytes);
+    } else {
+      shard.exhausted = true;
+    }
+  };
+
+  for (const std::string& path : inputs) {
+    shards.push_back(std::make_unique<Input>(path, options.view));
+    Input& shard = *shards.back();
+    shard.head_bytes = 0;
+    if (shard.reader.next(shard.head)) {
+      shard.head_bytes = block_bytes(shard.head);
+      account(shard.head_bytes);
+    } else {
+      shard.exhausted = true;
+    }
+  }
+
+  dataset::StreamWriter writer(out_path);
+  for (;;) {
+    // Min over the live heads by (spec_index, input index): a linear scan —
+    // K is the shard count, tiny next to the per-batch I/O it orders.
+    Input* next = nullptr;
+    for (const auto& shard : shards) {
+      if (shard->exhausted) continue;
+      if (next == nullptr || shard->head.spec_index < next->head.spec_index)
+        next = shard.get();
+    }
+    if (next == nullptr) break;
+    writer.append(next->head);
+    ++report.batches;
+    report.records += next->head.records.size();
+    advance(*next);
+  }
+  writer.close();
+  report.bytes_out = writer.bytes_written();
+  return report;
+}
+
+}  // namespace ptsbe::stats

@@ -138,6 +138,17 @@ TEST(LintUnordered, OrderedIterationInSerializationLayerQuiet) {
   EXPECT_TRUE(findings.empty()) << describe(findings);
 }
 
+TEST(LintUnordered, DefaultConfigCoversTheStatsModule) {
+  // The analytics layer's byte-stable ShotTable serialisation makes every
+  // src/stats TU part of the determinism contract: the default config must
+  // fire on unordered iteration anywhere under src/stats/.
+  const std::vector<Finding> findings = ptsbe::lint::lint_source(
+      "src/stats/shot_table.cpp", read_fixture("unordered_sink.cpp"),
+      LintConfig{});
+  EXPECT_EQ(count_check(findings, "unordered-iteration"), 2u)
+      << describe(findings);
+}
+
 // ---------------------------------------------------------------------------
 // Check 3: FMA in kernel TUs + the CMake contraction guard.
 // ---------------------------------------------------------------------------
